@@ -1,0 +1,90 @@
+// Command existbench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	existbench -list                 # show available experiment IDs
+//	existbench -run fig13,tab04      # run specific experiments
+//	existbench -all                  # run everything
+//	existbench -all -quick           # reduced durations (CI-sized)
+//
+// Output is plain-text tables; each carries notes stating what the paper
+// reports for the same artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"exist/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run   = flag.String("run", "", "comma-separated experiment IDs to run")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced durations and sweep sizes")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			fmt.Printf("%-16s paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "existbench: nothing to do (use -list, -run or -all)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	failures := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failures++
+			continue
+		}
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("### paper: %s\n\n", e.Paper)
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failures++
+			continue
+		}
+		fmt.Print(res.Render())
+		if len(res.Metrics) > 0 {
+			names := res.SortedMetrics()
+			sort.Strings(names)
+			fmt.Println("headline metrics:")
+			for _, n := range names {
+				fmt.Printf("  %-36s %.4g\n", n, res.Metrics[n])
+			}
+		}
+		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command existdecode is the offline decoder: it reconstructs execution
+// from a serialized session (as uploaded to the object store or written by
+// existd -dump), consulting the binary repository — here, re-synthesizing
+// the workload's binary from its profile name and seed, since synthetic
+// binaries are deterministic in both.
+//
+// Usage:
+//
+//	existd -app mc -dump /tmp/mc.sess
+//	existdecode -app mc -seed 1 -in /tmp/mc.sess
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exist/internal/decode"
+	"exist/internal/report"
+	"exist/internal/trace"
+	"exist/internal/workload"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "workload profile the session traced")
+		seed    = flag.Uint64("seed", 1, "seed the binary was synthesized with")
+		in      = flag.String("in", "", "serialized session file")
+		top     = flag.Int("top", 10, "how many hottest functions to print")
+	)
+	flag.Parse()
+	if *appName == "" || *in == "" {
+		fmt.Fprintln(os.Stderr, "existdecode: -app and -in are required")
+		os.Exit(2)
+	}
+	p, err := workload.ByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sess, err := trace.UnmarshalSession(blob)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unmarshal:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("session %q: workload=%s node=%q window=%v cores=%d records=%d space=%.1fMB\n",
+		sess.ID, sess.Workload, sess.Node, sess.Duration(), len(sess.Cores),
+		len(sess.Switches.Records), sess.SpaceMB())
+
+	prog := p.Synthesize(*seed)
+	rec := decode.Decode(sess, prog)
+	fmt.Print(report.Build(rec, prog, sess, report.Options{TopFuncs: *top}))
+}

@@ -1,0 +1,3 @@
+module exist
+
+go 1.22

@@ -1,0 +1,650 @@
+// Package binary models the program binaries that the simulated hardware
+// traces and the software decoder reconstructs.
+//
+// A Program is a synthetic but structurally realistic binary: a set of
+// functions, each a small control-flow graph of basic blocks with
+// conditional branches, direct and indirect jumps, calls, returns, and
+// syscall sites. Programs stand in for the paper's workloads (SPEC CPU 2017
+// binaries, Memcached/Nginx/MySQL, and the Alibaba services): what matters
+// for reproducing EXIST is not the computation the blocks perform but the
+// *control-flow events* they generate — because those are exactly what
+// Intel PT records (TNT bits for conditionals, TIP packets for indirect
+// transfers) and what the decoder must re-derive from the binary.
+//
+// A Walker executes a Program deterministically from a seed, emitting the
+// ground-truth branch stream. The same CFG is consulted by the decoder, so
+// reconstruction accuracy can be scored exactly.
+package binary
+
+import (
+	"fmt"
+
+	"exist/internal/xrand"
+)
+
+// BlockID identifies a basic block within a Program. NoBlock marks an
+// absent successor.
+type BlockID int32
+
+// NoBlock is the nil BlockID.
+const NoBlock BlockID = -1
+
+// TermKind is the kind of instruction that terminates a basic block. The
+// kind determines what (if anything) the PT hardware emits when the block
+// executes: conditional branches produce TNT bits, indirect transfers and
+// returns produce TIP packets, and direct transfers produce nothing
+// (the decoder follows them statically).
+type TermKind uint8
+
+const (
+	// TermFall: the block falls through to its successor (no packet).
+	TermFall TermKind = iota
+	// TermCond: conditional branch — one TNT bit.
+	TermCond
+	// TermJump: direct unconditional jump (no packet).
+	TermJump
+	// TermIndirectJump: e.g. a jump table — one TIP packet.
+	TermIndirectJump
+	// TermCall: direct call (no packet); pushes a return site.
+	TermCall
+	// TermIndirectCall: e.g. a virtual call — one TIP packet; pushes a
+	// return site.
+	TermIndirectCall
+	// TermReturn: function return — one TIP packet (return compression
+	// disabled, as is typical for decoders that want robust resync).
+	TermReturn
+	// TermSyscall: the block ends in a syscall instruction; control
+	// resumes at the fall-through block after the kernel returns.
+	TermSyscall
+)
+
+// String returns a short mnemonic for the terminator kind.
+func (k TermKind) String() string {
+	switch k {
+	case TermFall:
+		return "fall"
+	case TermCond:
+		return "jcc"
+	case TermJump:
+		return "jmp"
+	case TermIndirectJump:
+		return "jmp*"
+	case TermCall:
+		return "call"
+	case TermIndirectCall:
+		return "call*"
+	case TermReturn:
+		return "ret"
+	case TermSyscall:
+		return "syscall"
+	default:
+		return "bad"
+	}
+}
+
+// FuncCategory classifies a function for the case-study analyses
+// (Figures 21 and 22 of the paper): the costly leaf-function categories
+// whose occurrence ratios EXIST reports per application.
+type FuncCategory uint8
+
+const (
+	// CatGeneral is ordinary application logic.
+	CatGeneral FuncCategory = iota
+	// Memory-operation leaf functions (Figure 21a).
+	CatMemJE    // jemalloc allocator paths
+	CatMemTC    // tcmalloc allocator paths
+	CatMemAlloc // generic malloc
+	CatMemFree  // free paths
+	CatMemCopy  // memcpy
+	CatMemSet   // memset
+	CatMemCmp   // memcmp
+	CatMemMove  // memmove
+	// Synchronization leaf functions (Figure 21b).
+	CatSyncAtomic
+	CatSyncSpinlock
+	CatSyncMutex
+	CatSyncCAS
+	// Kernel-operation leaf functions (Figure 21c).
+	CatKernelSche
+	CatKernelIRQ
+	CatKernelNet
+	numCategories
+)
+
+// NumCategories is the number of distinct function categories.
+const NumCategories = int(numCategories)
+
+// String returns the label used in the paper's figures.
+func (c FuncCategory) String() string {
+	switch c {
+	case CatGeneral:
+		return "GENERAL"
+	case CatMemJE:
+		return "MEM_JE"
+	case CatMemTC:
+		return "MEM_TC"
+	case CatMemAlloc:
+		return "MEM_ALLOC"
+	case CatMemFree:
+		return "MEM_FREE"
+	case CatMemCopy:
+		return "MEM_COPY"
+	case CatMemSet:
+		return "MEM_SET"
+	case CatMemCmp:
+		return "MEM_CMP"
+	case CatMemMove:
+		return "MEM_MOVE"
+	case CatSyncAtomic:
+		return "SYNC_ATOMIC"
+	case CatSyncSpinlock:
+		return "SYNC_SPINLOCK"
+	case CatSyncMutex:
+		return "SYNC_MUTEX"
+	case CatSyncCAS:
+		return "SYNC_CAS"
+	case CatKernelSche:
+		return "KERNEL_SCHE"
+	case CatKernelIRQ:
+		return "KERNEL_IRQ"
+	case CatKernelNet:
+		return "KERNEL_NET"
+	default:
+		return "BAD"
+	}
+}
+
+// MemClass classifies a block's memory accesses for the Figure 22
+// bandwidth analysis.
+type MemClass uint8
+
+const (
+	// MemReadOnly blocks only load.
+	MemReadOnly MemClass = iota
+	// MemWriteOnly blocks only store.
+	MemWriteOnly
+	// MemReadWrite blocks do both.
+	MemReadWrite
+	numMemClasses
+)
+
+// NumMemClasses is the number of memory access classes.
+const NumMemClasses = int(numMemClasses)
+
+// String returns the label used in Figure 22.
+func (c MemClass) String() string {
+	switch c {
+	case MemReadOnly:
+		return "Read-Only"
+	case MemWriteOnly:
+		return "Write-Only"
+	case MemReadWrite:
+		return "Read-Write"
+	default:
+		return "BAD"
+	}
+}
+
+// MemWidths are the access widths (bytes) reported in Figure 22.
+var MemWidths = [4]int{1, 2, 4, 8}
+
+// Block is one basic block.
+type Block struct {
+	// Addr is the block's start address in the synthetic text segment.
+	Addr uint64
+	// Insns is the number of instructions in the block.
+	Insns int32
+	// Cycles is the block's base execution cost in core cycles.
+	Cycles int32
+	// Term is the terminator kind.
+	Term TermKind
+	// Taken is the target when the terminator transfers control: the
+	// branch target for TermCond (when taken), the jump target for
+	// TermJump, the callee entry for TermCall. Unused for indirect
+	// terminators (see Targets) and returns.
+	Taken BlockID
+	// Fall is the fall-through successor: the not-taken successor for
+	// TermCond, the return site pushed by calls, and the post-syscall
+	// resume block. NoBlock for TermReturn and TermJump.
+	Fall BlockID
+	// TakenProb is the probability a TermCond branch is taken.
+	TakenProb float32
+	// Targets and TargetW are the candidate targets and weights of an
+	// indirect terminator.
+	Targets []BlockID
+	// TargetW holds the selection weights parallel to Targets.
+	TargetW []float32
+	// Func is the index of the containing function.
+	Func int32
+	// SyscallClass selects the simulated syscall for TermSyscall blocks
+	// (an index into the kernel package's syscall table).
+	SyscallClass uint8
+	// MemOps counts memory accesses by [MemClass][width-index] for the
+	// Figure 22 analysis.
+	MemOps [NumMemClasses][4]uint16
+}
+
+// Func is a function: a named entry point with a category.
+type Func struct {
+	// Name is the symbol name.
+	Name string
+	// Entry is the function's entry block.
+	Entry BlockID
+	// Category classifies the function for case-study analyses.
+	Category FuncCategory
+}
+
+// Program is a synthetic binary.
+type Program struct {
+	// Name identifies the workload the binary belongs to.
+	Name string
+	// Blocks is the block table; BlockIDs index it.
+	Blocks []Block
+	// Funcs is the function table.
+	Funcs []Func
+	// Entry is the program entry block.
+	Entry BlockID
+	// TextBase is the load address of the text segment.
+	TextBase uint64
+	// TextSize is the extent of the synthetic text segment in bytes; it
+	// stands in for the binary-size input of RCO's complexity model.
+	TextSize uint64
+
+	addrIndex  map[uint64]BlockID
+	entryIndex map[BlockID]int32
+}
+
+// BlockAt resolves a text address to the block starting there.
+func (p *Program) BlockAt(addr uint64) (BlockID, bool) {
+	if p.addrIndex == nil {
+		p.addrIndex = make(map[uint64]BlockID, len(p.Blocks))
+		for i := range p.Blocks {
+			p.addrIndex[p.Blocks[i].Addr] = BlockID(i)
+		}
+	}
+	id, ok := p.addrIndex[addr]
+	return id, ok
+}
+
+// FuncOf returns the function containing block id.
+func (p *Program) FuncOf(id BlockID) *Func {
+	return &p.Funcs[p.Blocks[id].Func]
+}
+
+// EntryFuncOf reports whether block id is some function's entry block,
+// and if so which function. Trace consumers use it to build function
+// occurrence histograms from branch targets.
+func (p *Program) EntryFuncOf(id BlockID) (int32, bool) {
+	if p.entryIndex == nil {
+		p.entryIndex = make(map[BlockID]int32, len(p.Funcs))
+		for i := range p.Funcs {
+			p.entryIndex[p.Funcs[i].Entry] = int32(i)
+		}
+	}
+	fn, ok := p.entryIndex[id]
+	return fn, ok
+}
+
+// Validate checks structural invariants of the program: every successor is
+// a valid block, probabilities are in range, indirect terminators have
+// targets, and every function entry is valid. Experiments call this after
+// synthesis; it is also the target of property-based tests.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("binary %q: no blocks", p.Name)
+	}
+	if p.Entry < 0 || int(p.Entry) >= len(p.Blocks) {
+		return fmt.Errorf("binary %q: entry %d out of range", p.Name, p.Entry)
+	}
+	validID := func(id BlockID) bool { return id >= 0 && int(id) < len(p.Blocks) }
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if b.Func < 0 || int(b.Func) >= len(p.Funcs) {
+			return fmt.Errorf("binary %q: block %d has bad func %d", p.Name, i, b.Func)
+		}
+		switch b.Term {
+		case TermCond:
+			if !validID(b.Taken) || !validID(b.Fall) {
+				return fmt.Errorf("binary %q: cond block %d has invalid successors", p.Name, i)
+			}
+			if b.TakenProb < 0 || b.TakenProb > 1 {
+				return fmt.Errorf("binary %q: cond block %d prob %v", p.Name, i, b.TakenProb)
+			}
+		case TermJump:
+			if !validID(b.Taken) {
+				return fmt.Errorf("binary %q: jump block %d has invalid target", p.Name, i)
+			}
+		case TermIndirectJump, TermIndirectCall:
+			if len(b.Targets) == 0 || len(b.Targets) != len(b.TargetW) {
+				return fmt.Errorf("binary %q: indirect block %d has %d targets, %d weights",
+					p.Name, i, len(b.Targets), len(b.TargetW))
+			}
+			for _, t := range b.Targets {
+				if !validID(t) {
+					return fmt.Errorf("binary %q: indirect block %d target invalid", p.Name, i)
+				}
+			}
+			if b.Term == TermIndirectCall && !validID(b.Fall) {
+				return fmt.Errorf("binary %q: indirect call block %d has no return site", p.Name, i)
+			}
+		case TermCall:
+			if !validID(b.Taken) || !validID(b.Fall) {
+				return fmt.Errorf("binary %q: call block %d has invalid successors", p.Name, i)
+			}
+		case TermReturn:
+			// no successors
+		case TermFall, TermSyscall:
+			if !validID(b.Fall) {
+				return fmt.Errorf("binary %q: block %d (%v) has invalid fall", p.Name, i, b.Term)
+			}
+		default:
+			return fmt.Errorf("binary %q: block %d has unknown terminator %d", p.Name, i, b.Term)
+		}
+		if b.Cycles <= 0 {
+			return fmt.Errorf("binary %q: block %d has non-positive cycles", p.Name, i)
+		}
+	}
+	for i, f := range p.Funcs {
+		if !validID(f.Entry) {
+			return fmt.Errorf("binary %q: func %d (%s) entry invalid", p.Name, i, f.Name)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes static program properties used for calibration and
+// for RCO's complexity scoring.
+type Stats struct {
+	Blocks, Funcs     int
+	CondBlocks        int
+	IndirectBlocks    int
+	SyscallBlocks     int
+	AvgBlockCycles    float64
+	BranchPerKCycle   float64 // expected PT-visible events per 1000 cycles
+	SyscallPerKCycle  float64
+	TextBytes         uint64
+	CategoryBlockFrac map[FuncCategory]float64
+}
+
+// ComputeStats derives static statistics for the program.
+func (p *Program) ComputeStats() Stats {
+	s := Stats{
+		Blocks:            len(p.Blocks),
+		Funcs:             len(p.Funcs),
+		TextBytes:         p.TextSize,
+		CategoryBlockFrac: make(map[FuncCategory]float64),
+	}
+	var cycles int64
+	var ptEvents, syscalls int64
+	catBlocks := make(map[FuncCategory]int)
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		cycles += int64(b.Cycles)
+		switch b.Term {
+		case TermCond:
+			s.CondBlocks++
+			ptEvents++
+		case TermIndirectJump, TermIndirectCall:
+			s.IndirectBlocks++
+			ptEvents++
+		case TermReturn:
+			ptEvents++
+		case TermSyscall:
+			s.SyscallBlocks++
+			syscalls++
+		}
+		catBlocks[p.Funcs[b.Func].Category]++
+	}
+	if len(p.Blocks) > 0 {
+		s.AvgBlockCycles = float64(cycles) / float64(len(p.Blocks))
+	}
+	if cycles > 0 {
+		s.BranchPerKCycle = float64(ptEvents) / float64(cycles) * 1000
+		s.SyscallPerKCycle = float64(syscalls) / float64(cycles) * 1000
+	}
+	for c, n := range catBlocks {
+		s.CategoryBlockFrac[c] = float64(n) / float64(len(p.Blocks))
+	}
+	return s
+}
+
+// endAddr returns the address of the block's terminating instruction,
+// which is the "from" address of the branch it produces.
+func (p *Program) endAddr(id BlockID) uint64 {
+	b := &p.Blocks[id]
+	if b.Insns <= 1 {
+		return b.Addr
+	}
+	return b.Addr + uint64(b.Insns-1)*4
+}
+
+// BranchEvent is one control-transfer event in an execution: exactly the
+// granularity Intel PT observes.
+type BranchEvent struct {
+	// Block is the block whose terminator produced the event.
+	Block BlockID
+	// Target is the destination block.
+	Target BlockID
+	// From is the address of the transferring instruction.
+	From uint64
+	// To is the destination address.
+	To uint64
+	// Kind is the terminator kind that produced the event.
+	Kind TermKind
+	// Taken reports the direction of a TermCond event.
+	Taken bool
+}
+
+// IsIndirect reports whether the event requires a TIP packet (target not
+// statically known).
+func (e BranchEvent) IsIndirect() bool {
+	switch e.Kind {
+	case TermIndirectJump, TermIndirectCall, TermReturn:
+		return true
+	}
+	return false
+}
+
+// StopReason says why a Walker run segment ended.
+type StopReason uint8
+
+const (
+	// StopBudget: the cycle budget was exhausted mid-execution.
+	StopBudget StopReason = iota
+	// StopSyscall: the program reached a syscall instruction.
+	StopSyscall
+)
+
+// Counters accumulates dynamic execution statistics in a Walker.
+type Counters struct {
+	// Cycles and Insns are totals over all executed blocks.
+	Cycles int64
+	Insns  int64
+	// Branches counts PT-visible control transfers.
+	Branches int64
+	// CondBranches counts TNT-bit events within Branches.
+	CondBranches int64
+	// IndirectBranches counts TIP events within Branches.
+	IndirectBranches int64
+	// Syscalls counts syscall instructions executed.
+	Syscalls int64
+	// FuncEntries counts entries per function index (function occurrence
+	// histogram, the input to Wall's weight-matching accuracy metric).
+	FuncEntries map[int32]int64
+	// MemOps accumulates the Figure 22 access counts.
+	MemOps [NumMemClasses][4]int64
+	// CatHits counts executed blocks per function category.
+	CatHits [NumCategories]int64
+}
+
+// addBlock charges one executed block to the counters.
+func (c *Counters) addBlock(p *Program, id BlockID) {
+	b := &p.Blocks[id]
+	c.Cycles += int64(b.Cycles)
+	c.Insns += int64(b.Insns)
+	c.CatHits[p.Funcs[b.Func].Category]++
+	for cls := 0; cls < NumMemClasses; cls++ {
+		for w := 0; w < 4; w++ {
+			c.MemOps[cls][w] += int64(b.MemOps[cls][w])
+		}
+	}
+}
+
+// Walker executes a Program deterministically from a seed. It is the
+// ground-truth execution engine: every control transfer it performs is
+// reported to the caller's sink exactly once, in order.
+type Walker struct {
+	prog  *Program
+	rng   *xrand.Rand
+	cur   BlockID
+	stack []BlockID
+	// Count holds the running dynamic statistics.
+	Count Counters
+}
+
+// maxCallDepth bounds the simulated call stack; deeper direct recursion
+// degrades to tail calls, as real stack-limited programs effectively do.
+const maxCallDepth = 128
+
+// NewWalker returns a walker positioned at the program entry.
+func NewWalker(p *Program, rng *xrand.Rand) *Walker {
+	return &Walker{
+		prog: p,
+		rng:  rng,
+		cur:  p.Entry,
+	}
+}
+
+// Current returns the block the walker will execute next.
+func (w *Walker) Current() BlockID { return w.cur }
+
+// CurrentAddr returns the address of the next block to execute.
+func (w *Walker) CurrentAddr() uint64 { return w.prog.Blocks[w.cur].Addr }
+
+// Run executes blocks until the cycle budget is consumed or a syscall
+// instruction is reached, whichever comes first. Each control transfer is
+// passed to emit (which may be nil for counting-only runs). It returns the
+// cycles actually consumed, the stop reason, and — for StopSyscall — the
+// syscall class of the trapping block.
+//
+// The cycle accounting is inclusive: the block containing the syscall is
+// fully executed (and charged) before the walker stops.
+func (w *Walker) Run(budget int64, emit func(BranchEvent)) (used int64, reason StopReason, syscallClass uint8) {
+	p := w.prog
+	for used < budget {
+		id := w.cur
+		b := &p.Blocks[id]
+		used += int64(b.Cycles)
+		w.Count.addBlock(p, id)
+
+		var next BlockID
+		switch b.Term {
+		case TermFall:
+			next = b.Fall
+		case TermCond:
+			taken := w.rng.Bool(float64(b.TakenProb))
+			w.Count.Branches++
+			w.Count.CondBranches++
+			if taken {
+				next = b.Taken
+			} else {
+				next = b.Fall
+			}
+			if emit != nil {
+				emit(BranchEvent{
+					Block: id, Target: next,
+					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					Kind: TermCond, Taken: taken,
+				})
+			}
+		case TermJump:
+			next = b.Taken
+		case TermIndirectJump:
+			next = w.pickTarget(b)
+			w.Count.Branches++
+			w.Count.IndirectBranches++
+			if emit != nil {
+				emit(BranchEvent{
+					Block: id, Target: next,
+					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					Kind: TermIndirectJump,
+				})
+			}
+		case TermCall:
+			next = b.Taken
+			if len(w.stack) < maxCallDepth {
+				w.stack = append(w.stack, b.Fall)
+			}
+			w.noteEntry(next)
+		case TermIndirectCall:
+			next = w.pickTarget(b)
+			w.Count.Branches++
+			w.Count.IndirectBranches++
+			if len(w.stack) < maxCallDepth {
+				w.stack = append(w.stack, b.Fall)
+			}
+			w.noteEntry(next)
+			if emit != nil {
+				emit(BranchEvent{
+					Block: id, Target: next,
+					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					Kind: TermIndirectCall,
+				})
+			}
+		case TermReturn:
+			if n := len(w.stack); n > 0 {
+				next = w.stack[n-1]
+				w.stack = w.stack[:n-1]
+			} else {
+				// Returning past main: restart the outer loop, as a
+				// long-running service's event loop does.
+				next = p.Entry
+			}
+			w.Count.Branches++
+			w.Count.IndirectBranches++
+			if emit != nil {
+				emit(BranchEvent{
+					Block: id, Target: next,
+					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					Kind: TermReturn,
+				})
+			}
+		case TermSyscall:
+			w.Count.Syscalls++
+			w.cur = b.Fall
+			return used, StopSyscall, b.SyscallClass
+		default:
+			panic(fmt.Sprintf("binary: bad terminator %d in %q", b.Term, p.Name))
+		}
+		w.cur = next
+	}
+	return used, StopBudget, 0
+}
+
+// noteEntry records a function entry in the occurrence histogram.
+func (w *Walker) noteEntry(target BlockID) {
+	fn := w.prog.Blocks[target].Func
+	if w.Count.FuncEntries == nil {
+		w.Count.FuncEntries = make(map[int32]int64)
+	}
+	w.Count.FuncEntries[fn]++
+}
+
+// pickTarget selects an indirect terminator's destination.
+func (w *Walker) pickTarget(b *Block) BlockID {
+	if len(b.Targets) == 1 {
+		return b.Targets[0]
+	}
+	var total float64
+	for _, f := range b.TargetW {
+		total += float64(f)
+	}
+	x := w.rng.Float64() * total
+	for i, f := range b.TargetW {
+		x -= float64(f)
+		if x < 0 {
+			return b.Targets[i]
+		}
+	}
+	return b.Targets[len(b.Targets)-1]
+}

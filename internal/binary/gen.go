@@ -1,0 +1,391 @@
+package binary
+
+import (
+	"fmt"
+
+	"exist/internal/xrand"
+)
+
+// Spec parameterizes program synthesis. Workload profiles (package
+// workload) fill one of these per benchmark so that the generated binary's
+// dynamic branch density, syscall rate, call-graph shape, and
+// function-category mix match the workload the paper traced.
+type Spec struct {
+	// Name names the binary (usually the workload name).
+	Name string
+	// Seed drives all synthesis randomness.
+	Seed uint64
+
+	// Funcs is the number of functions.
+	Funcs int
+	// BlocksPerFuncMin/Max bound the per-function block count.
+	BlocksPerFuncMin, BlocksPerFuncMax int
+
+	// AvgBlockCycles is the mean basic-block execution cost; branch
+	// density is roughly 1/AvgBlockCycles PT events per cycle, so smaller
+	// blocks mean branchier programs.
+	AvgBlockCycles int
+	// IPC sets instructions per cycle (Insns = Cycles*IPC), which fixes
+	// the workload's baseline CPI for the Figure 15 metrics.
+	IPC float64
+
+	// Terminator mix: fractions of non-final blocks ending in each
+	// transfer kind. The remainder fall through.
+	CondFrac, JumpFrac, IndJumpFrac, CallFrac, IndCallFrac float64
+	// SyscallFrac is the fraction of blocks that are syscall sites; the
+	// dynamic syscall rate follows from it and the block cost.
+	SyscallFrac float64
+	// LoopBackProb is the probability a conditional branch targets an
+	// earlier block (forming a loop).
+	LoopBackProb float64
+	// AvgTakenProb is the mean taken-probability of conditional branches.
+	AvgTakenProb float64
+
+	// SyscallClassWeights selects the syscall class of syscall blocks
+	// (indices are kernel syscall classes); nil means class 0 always.
+	SyscallClassWeights []float64
+
+	// CategoryWeights distributes functions across FuncCategory values;
+	// a zero array puts every function in CatGeneral.
+	CategoryWeights [NumCategories]float64
+
+	// MemOpsPerBlock is the mean number of memory accesses per block, and
+	// MemClassWeights/MemWidthWeights shape their Figure 22 distribution.
+	MemOpsPerBlock  float64
+	MemClassWeights [NumMemClasses]float64
+	MemWidthWeights [4]float64
+}
+
+// DefaultSpec returns a reasonable mid-size compute-like spec, used as the
+// base that workload profiles override.
+func DefaultSpec(name string, seed uint64) Spec {
+	return Spec{
+		Name:             name,
+		Seed:             seed,
+		Funcs:            48,
+		BlocksPerFuncMin: 4,
+		BlocksPerFuncMax: 16,
+		AvgBlockCycles:   24,
+		IPC:              1.4,
+		CondFrac:         0.42,
+		JumpFrac:         0.08,
+		IndJumpFrac:      0.05,
+		CallFrac:         0.16,
+		IndCallFrac:      0.04,
+		SyscallFrac:      0.004,
+		LoopBackProb:     0.35,
+		AvgTakenProb:     0.55,
+		MemOpsPerBlock:   3,
+		MemClassWeights:  [NumMemClasses]float64{0.55, 0.2, 0.25},
+		MemWidthWeights:  [4]float64{0.15, 0.1, 0.35, 0.4},
+	}
+}
+
+// Synthesize builds a Program from the spec. Synthesis is deterministic in
+// Spec.Seed. The result always passes Validate; Synthesize panics on a
+// structurally impossible spec (it is programmer error, not input error).
+func Synthesize(spec Spec) *Program {
+	if spec.Funcs < 1 {
+		panic("binary: Synthesize needs at least one function")
+	}
+	if spec.BlocksPerFuncMin < 2 {
+		spec.BlocksPerFuncMin = 2
+	}
+	if spec.BlocksPerFuncMax < spec.BlocksPerFuncMin {
+		spec.BlocksPerFuncMax = spec.BlocksPerFuncMin
+	}
+	rng := xrand.Split(spec.Seed, "binary/"+spec.Name)
+
+	p := &Program{Name: spec.Name, TextBase: 0x400000}
+
+	// Lay out functions and blocks.
+	type funcSpan struct{ first, last BlockID }
+	spans := make([]funcSpan, spec.Funcs)
+	catWeights := spec.CategoryWeights[:]
+	var catTotal float64
+	for _, w := range catWeights {
+		catTotal += w
+	}
+	for f := 0; f < spec.Funcs; f++ {
+		n := spec.BlocksPerFuncMin
+		if spec.BlocksPerFuncMax > spec.BlocksPerFuncMin {
+			n += rng.IntN(spec.BlocksPerFuncMax - spec.BlocksPerFuncMin + 1)
+		}
+		first := BlockID(len(p.Blocks))
+		for i := 0; i < n; i++ {
+			p.Blocks = append(p.Blocks, Block{Func: int32(f)})
+		}
+		spans[f] = funcSpan{first, BlockID(len(p.Blocks) - 1)}
+
+		cat := CatGeneral
+		if f > 0 && catTotal > 0 {
+			cat = FuncCategory(rng.WeightedPick(catWeights))
+		}
+		p.Funcs = append(p.Funcs, Func{
+			Name:     fmt.Sprintf("%s_%s_%d", spec.Name, categorySlug(cat), f),
+			Entry:    first,
+			Category: cat,
+		})
+	}
+	p.Entry = spans[0].first
+
+	// Fill in block bodies and terminators.
+	termWeights := []float64{
+		spec.CondFrac, spec.JumpFrac, spec.IndJumpFrac,
+		spec.CallFrac, spec.IndCallFrac, spec.SyscallFrac,
+	}
+	var termTotal float64
+	for _, w := range termWeights {
+		termTotal += w
+	}
+	fallFrac := 1 - termTotal
+	if fallFrac < 0 {
+		panic("binary: terminator fractions exceed 1")
+	}
+	allTermWeights := append([]float64{}, termWeights...)
+	allTermWeights = append(allTermWeights, fallFrac)
+
+	addr := p.TextBase
+	for f := 0; f < spec.Funcs; f++ {
+		span := spans[f]
+		for id := span.first; id <= span.last; id++ {
+			b := &p.Blocks[id]
+			b.Cycles = int32(max64(4, int64(rng.Jitter(float64(spec.AvgBlockCycles), 0.6))))
+			b.Insns = int32(max64(1, int64(float64(b.Cycles)*spec.IPC)))
+			b.Addr = addr
+			addr += uint64(b.Insns)*4 + 8
+			fillMemOps(b, spec, rng)
+
+			if id == span.last {
+				b.Term = TermReturn
+				continue
+			}
+			next := id + 1
+
+			if f == 0 {
+				// The entry function is the service dispatcher: every
+				// loop iteration must descend into worker functions, so
+				// its blocks are dominated by (indirect) call sites with
+				// forward-only glue — a hot path that skipped every call
+				// would reduce the whole program to one small loop.
+				switch {
+				case rng.Bool(0.45) && len(spans) > 1:
+					b.Term = TermIndirectCall
+					b.Fall = next
+					fillIndirect(b, rng, func() BlockID { return spans[1+rng.IntN(len(spans)-1)].first })
+				case rng.Bool(0.35) && len(spans) > 1:
+					b.Term = TermCall
+					b.Fall = next
+					b.Taken = spans[1+rng.IntN(len(spans)-1)].first
+				case rng.Bool(0.3):
+					b.Term = TermCond
+					b.Fall = next
+					b.Taken = pickLocal(rng, span, id, 0)
+					b.TakenProb = float32(clamp01(rng.Jitter(spec.AvgTakenProb, 0.4)))
+				case rng.Bool(0.15) && spec.SyscallFrac > 0:
+					b.Term = TermSyscall
+					b.Fall = next
+					if len(spec.SyscallClassWeights) > 0 {
+						b.SyscallClass = uint8(rng.WeightedPick(spec.SyscallClassWeights))
+					}
+				default:
+					b.Term = TermFall
+					b.Fall = next
+				}
+				continue
+			}
+
+			switch rng.WeightedPick(allTermWeights) {
+			case 0: // conditional branch
+				b.Term = TermCond
+				b.Fall = next
+				b.Taken = pickLocal(rng, span, id, spec.LoopBackProb)
+				if b.Taken < id {
+					// Backward (loop) branch: bound the taken probability
+					// so loop trip counts stay realistic — otherwise the
+					// walk is absorbed into one hot loop and never covers
+					// the rest of the program.
+					b.TakenProb = float32(0.3 + 0.55*rng.Float64())
+				} else {
+					b.TakenProb = float32(clamp01(rng.Jitter(spec.AvgTakenProb, 0.4)))
+				}
+			case 1: // direct jump — forward only: a backward direct jump
+				// could close a cycle with no PT-visible (random-exit)
+				// branch in it, wedging execution in silence.
+				b.Term = TermJump
+				b.Taken = pickLocal(rng, span, id, 0)
+			case 2: // indirect jump — the first target is forced forward:
+				// an all-backward target set would close an absorbing
+				// region with no path to the function exit.
+				b.Term = TermIndirectJump
+				first := true
+				fillIndirect(b, rng, func() BlockID {
+					if first {
+						first = false
+						return pickLocal(rng, span, id, 0)
+					}
+					return pickLocal(rng, span, id, 0.25)
+				})
+			case 3: // direct call — DAG only (higher-index callees): a
+				// direct-recursion cycle would contain no PT-visible,
+				// randomly-exiting branch and could wedge execution
+				// silently. Recursion stays possible through indirect
+				// calls, which emit TIPs.
+				if f+1 >= len(spans) {
+					b.Term = TermFall
+					b.Fall = next
+					continue
+				}
+				b.Term = TermCall
+				b.Fall = next
+				callee := spans[f+1+rng.IntN(len(spans)-f-1)]
+				b.Taken = callee.first
+			case 4: // indirect call
+				b.Term = TermIndirectCall
+				b.Fall = next
+				fillIndirect(b, rng, func() BlockID { return spans[rng.IntN(len(spans))].first })
+			case 5: // syscall
+				b.Term = TermSyscall
+				b.Fall = next
+				if len(spec.SyscallClassWeights) > 0 {
+					b.SyscallClass = uint8(rng.WeightedPick(spec.SyscallClassWeights))
+				}
+			default: // fall through
+				b.Term = TermFall
+				b.Fall = next
+			}
+		}
+	}
+	p.TextSize = addr - p.TextBase
+
+	if err := p.Validate(); err != nil {
+		panic("binary: synthesized invalid program: " + err.Error())
+	}
+	return p
+}
+
+// pickLocal picks a jump/branch target within a function span: an earlier
+// block with probability loopProb (forming a loop), otherwise a later one.
+func pickLocal(rng *xrand.Rand, span struct{ first, last BlockID }, from BlockID, loopProb float64) BlockID {
+	hasBack := from > span.first
+	hasFwd := from+1 < span.last // skip self and prefer real forward motion
+	// Backward edges are taken only with loopProb — callers pass zero for
+	// silent (non-packet-producing) terminators so that every silent edge
+	// makes forward progress and execution cannot wedge in a quiet cycle.
+	if hasBack && loopProb > 0 && rng.Bool(loopProb) {
+		return span.first + BlockID(rng.IntN(int(from-span.first)))
+	}
+	if hasFwd {
+		return from + 2 + BlockID(rng.IntN(int(span.last-from-1)))
+	}
+	return span.last
+}
+
+// fillIndirect populates 2-4 weighted targets for an indirect terminator.
+// Weights are exponentially skewed: real indirect-call profiles are
+// heavy-tailed (a hot virtual target plus rarely-taken alternatives),
+// which is what makes short tracing windows cover different function
+// subsets on different runs.
+func fillIndirect(b *Block, rng *xrand.Rand, pick func() BlockID) {
+	n := 2 + rng.IntN(3)
+	seen := map[BlockID]bool{}
+	for i := 0; i < n; i++ {
+		t := pick()
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		b.Targets = append(b.Targets, t)
+		w := 0.02 + rng.Pareto(0.05, 1.1)
+		if w > 20 {
+			w = 20
+		}
+		b.TargetW = append(b.TargetW, float32(w))
+	}
+	if len(b.Targets) == 0 {
+		b.Targets = []BlockID{pick()}
+		b.TargetW = []float32{1}
+	}
+}
+
+// fillMemOps assigns the block's Figure 22 memory-access counts.
+func fillMemOps(b *Block, spec Spec, rng *xrand.Rand) {
+	if spec.MemOpsPerBlock <= 0 {
+		return
+	}
+	n := int(rng.Jitter(spec.MemOpsPerBlock, 0.8))
+	clsW := spec.MemClassWeights[:]
+	widW := spec.MemWidthWeights[:]
+	var clsTotal, widTotal float64
+	for _, w := range clsW {
+		clsTotal += w
+	}
+	for _, w := range widW {
+		widTotal += w
+	}
+	if clsTotal <= 0 || widTotal <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		cls := rng.WeightedPick(clsW)
+		wid := rng.WeightedPick(widW)
+		b.MemOps[cls][wid]++
+	}
+}
+
+// categorySlug returns a lowercase symbol fragment for a category.
+func categorySlug(c FuncCategory) string {
+	switch c {
+	case CatGeneral:
+		return "fn"
+	case CatMemJE:
+		return "je_arena"
+	case CatMemTC:
+		return "tc_central"
+	case CatMemAlloc:
+		return "malloc"
+	case CatMemFree:
+		return "free"
+	case CatMemCopy:
+		return "memcpy"
+	case CatMemSet:
+		return "memset"
+	case CatMemCmp:
+		return "memcmp"
+	case CatMemMove:
+		return "memmove"
+	case CatSyncAtomic:
+		return "atomic_fetch"
+	case CatSyncSpinlock:
+		return "spin_lock"
+	case CatSyncMutex:
+		return "mutex_lock"
+	case CatSyncCAS:
+		return "cmpxchg"
+	case CatKernelSche:
+		return "sched_wakeup"
+	case CatKernelIRQ:
+		return "irq_handler"
+	case CatKernelNet:
+		return "net_rx"
+	default:
+		return "bad"
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0.02 {
+		return 0.02
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,469 @@
+// Package cluster is the cloud-native integration layer of EXIST (§4 of
+// the paper): a Kubernetes-style API server holding TraceRequest custom
+// resources, a reconciling controller that turns requests into node-level
+// tracing sessions (applying RCO's temporal and spatial decisions), an
+// object store for raw sessions (OSS stand-in), and a structured store
+// for decoded results (ODPS stand-in).
+//
+// All nodes share one virtual clock, so cluster orchestration and
+// node-level scheduling interleave deterministically in a single timeline.
+package cluster
+
+import (
+	"fmt"
+
+	"exist/internal/binary"
+	"exist/internal/core"
+	"exist/internal/coverage"
+	"exist/internal/decode"
+	"exist/internal/memalloc"
+	"exist/internal/sched"
+	"exist/internal/simtime"
+	"exist/internal/trace"
+	"exist/internal/workload"
+	"exist/internal/xrand"
+)
+
+// Phase is a TraceRequest lifecycle phase.
+type Phase string
+
+// TraceRequest phases.
+const (
+	PhasePending   Phase = "Pending"
+	PhaseRunning   Phase = "Running"
+	PhaseCompleted Phase = "Completed"
+	PhaseFailed    Phase = "Failed"
+)
+
+// TraceRequestSpec is the user-facing configuration interface: what to
+// trace and how, encapsulated as a CRD in the API server.
+type TraceRequestSpec struct {
+	// App names the application (a workload profile name).
+	App string
+	// Purpose selects RCO's sampling policy.
+	Purpose coverage.Purpose
+	// Period overrides the temporal decider when nonzero.
+	Period simtime.Duration
+	// Nodes restricts tracing to these nodes (nil: spatial sampler picks).
+	Nodes []string
+	// MemBudget overrides the default buffer budget when nonzero.
+	MemBudget int64
+	// Scale is the space scale for the sessions (0: trace.SpaceScale).
+	Scale float64
+}
+
+// TraceRequest is the CRD object.
+type TraceRequest struct {
+	// Name is the object name (unique).
+	Name string
+	// Spec is the desired state.
+	Spec TraceRequestSpec
+	// Phase is the observed lifecycle phase.
+	Phase Phase
+	// Message carries failure details.
+	Message string
+	// SessionKeys lists the OSS keys of uploaded sessions.
+	SessionKeys []string
+	// pending counts sessions still running.
+	pending  int
+	sessions []*core.Session
+}
+
+// APIServer stores TraceRequests (the Kubernetes API server stand-in).
+type APIServer struct {
+	requests map[string]*TraceRequest
+	order    []string
+	watchers []func(*TraceRequest)
+}
+
+// NewAPIServer returns an empty API server.
+func NewAPIServer() *APIServer {
+	return &APIServer{requests: make(map[string]*TraceRequest)}
+}
+
+// Watch registers fn to run on every request phase transition (the watch
+// stream engineers' tooling subscribes to).
+func (a *APIServer) Watch(fn func(*TraceRequest)) {
+	a.watchers = append(a.watchers, fn)
+}
+
+// setPhase transitions a request and notifies watchers.
+func (a *APIServer) setPhase(r *TraceRequest, phase Phase, msg string) {
+	if r.Phase == phase {
+		return
+	}
+	r.Phase = phase
+	if msg != "" {
+		r.Message = msg
+	}
+	for _, fn := range a.watchers {
+		fn(r)
+	}
+}
+
+// Create stores a new request in phase Pending.
+func (a *APIServer) Create(name string, spec TraceRequestSpec) (*TraceRequest, error) {
+	if _, ok := a.requests[name]; ok {
+		return nil, fmt.Errorf("cluster: trace request %q already exists", name)
+	}
+	r := &TraceRequest{Name: name, Spec: spec, Phase: PhasePending}
+	a.requests[name] = r
+	a.order = append(a.order, name)
+	return r, nil
+}
+
+// Get retrieves a request.
+func (a *APIServer) Get(name string) (*TraceRequest, bool) {
+	r, ok := a.requests[name]
+	return r, ok
+}
+
+// List returns requests in creation order.
+func (a *APIServer) List() []*TraceRequest {
+	out := make([]*TraceRequest, 0, len(a.order))
+	for _, n := range a.order {
+		out = append(out, a.requests[n])
+	}
+	return out
+}
+
+// Node is one worker node: a machine plus its EXIST controller and the
+// applications deployed on it.
+type Node struct {
+	// Name is the node name.
+	Name string
+	// Machine is the node's simulated OS/hardware.
+	Machine *sched.Machine
+	// Ctrl is the node's EXIST controller.
+	Ctrl *core.Controller
+	// Apps maps app name to its process on this node.
+	Apps map[string]*sched.Process
+	// MemCapacityMB and MemAllocatedMB model the node's memory ledger
+	// (Figure 11: allocation near the ceiling while utilization is low).
+	MemCapacityMB  float64
+	MemAllocatedMB float64
+}
+
+// MgmtStats is the orchestration overhead ledger (Figure 17).
+type MgmtStats struct {
+	// CPUSeconds is management CPU consumed (core-seconds).
+	CPUSeconds float64
+	// MemMB is the management pod's resident memory.
+	MemMB float64
+	// Reconciles counts controller loop iterations.
+	Reconciles int64
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the node count.
+	Nodes int
+	// CoresPerNode sizes each node's machine.
+	CoresPerNode int
+	// Seed drives all cluster randomness.
+	Seed uint64
+	// ReconcileEvery is the controller loop period.
+	ReconcileEvery simtime.Duration
+}
+
+// DefaultConfig returns the paper's ten-node evaluation cluster.
+func DefaultConfig() Config {
+	return Config{Nodes: 10, CoresPerNode: 16, Seed: 1, ReconcileEvery: 100 * simtime.Millisecond}
+}
+
+// Cluster is the whole deployment.
+type Cluster struct {
+	// Cfg is the construction configuration.
+	Cfg Config
+	// Eng is the shared virtual clock.
+	Eng *simtime.Engine
+	// API is the control-plane store.
+	API *APIServer
+	// Nodes are the workers.
+	Nodes []*Node
+	// OSS is the raw-session object store.
+	OSS *ObjectStore
+	// ODPS is the structured result store.
+	ODPS *DataStore
+	// Mgmt is the orchestration overhead ledger.
+	Mgmt MgmtStats
+	// Binaries is the binary repository the decoder consults.
+	Binaries map[string]*binary.Program
+
+	profiles map[string]workload.Profile
+	rng      *xrand.Rand
+}
+
+// New builds a cluster with a shared engine and starts the controller
+// reconcile loop.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		panic("cluster: invalid config")
+	}
+	if cfg.ReconcileEvery <= 0 {
+		cfg.ReconcileEvery = 100 * simtime.Millisecond
+	}
+	c := &Cluster{
+		Cfg:      cfg,
+		Eng:      simtime.NewEngine(),
+		API:      NewAPIServer(),
+		OSS:      NewObjectStore(),
+		ODPS:     NewDataStore(),
+		Binaries: make(map[string]*binary.Program),
+		profiles: make(map[string]workload.Profile),
+		rng:      xrand.Split(cfg.Seed, "cluster"),
+		Mgmt:     MgmtStats{MemMB: 40}, // the RCO management pod's footprint
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		mcfg := sched.DefaultConfig()
+		mcfg.Cores = cfg.CoresPerNode
+		mcfg.Seed = cfg.Seed + uint64(i)*7919
+		mcfg.Engine = c.Eng
+		m := sched.NewMachine(mcfg)
+		c.Nodes = append(c.Nodes, &Node{
+			Name:          fmt.Sprintf("node-%d", i),
+			Machine:       m,
+			Ctrl:          core.NewController(m),
+			Apps:          make(map[string]*sched.Process),
+			MemCapacityMB: 384 * 1024 / float64(cfg.Nodes), // 384 GB class nodes scaled per config
+		})
+	}
+	c.scheduleReconcile()
+	return c
+}
+
+// Node returns a node by name.
+func (c *Cluster) Node(name string) (*Node, bool) {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Deploy installs a workload profile on the named nodes (all nodes when
+// names is nil) and registers its binary in the repository.
+func (c *Cluster) Deploy(p workload.Profile, names []string, opt workload.InstallOpts) error {
+	if names == nil {
+		for _, n := range c.Nodes {
+			names = append(names, n.Name)
+		}
+	}
+	if opt.Walker && opt.Prog == nil {
+		opt.Prog = p.Synthesize(opt.Seed)
+	}
+	c.profiles[p.Name] = p
+	if opt.Prog != nil {
+		c.Binaries[p.Name] = opt.Prog
+	}
+	for _, name := range names {
+		n, ok := c.Node(name)
+		if !ok {
+			return fmt.Errorf("cluster: unknown node %q", name)
+		}
+		if _, dup := n.Apps[p.Name]; dup {
+			return fmt.Errorf("cluster: app %q already on %q", p.Name, name)
+		}
+		nodeOpt := opt
+		nodeOpt.Seed = opt.Seed ^ hashName(name)
+		n.Apps[p.Name] = p.Install(n.Machine, nodeOpt)
+		// Ledger: services reserve memory aggressively (Figure 11).
+		n.MemAllocatedMB += 0.6 * n.MemCapacityMB / float64(len(c.Nodes))
+	}
+	return nil
+}
+
+// Request files a TraceRequest through the configuration interface.
+func (c *Cluster) Request(name string, spec TraceRequestSpec) (*TraceRequest, error) {
+	if _, ok := c.profiles[spec.App]; !ok {
+		return nil, fmt.Errorf("cluster: app %q not deployed", spec.App)
+	}
+	return c.API.Create(name, spec)
+}
+
+// Run advances the whole cluster to the given time.
+func (c *Cluster) Run(until simtime.Time) { c.Eng.RunUntil(until) }
+
+// scheduleReconcile arms the periodic controller loop.
+func (c *Cluster) scheduleReconcile() {
+	c.Eng.After(c.Cfg.ReconcileEvery, func(now simtime.Time) {
+		c.reconcile(now)
+		c.scheduleReconcile()
+	})
+}
+
+// reconcile is the controller body: it moves Pending requests to Running
+// by opening node sessions, and charges management CPU.
+func (c *Cluster) reconcile(now simtime.Time) {
+	c.Mgmt.Reconciles++
+	// Loop cost: list + status updates; grows with active requests.
+	active := 0
+	for _, r := range c.API.List() {
+		if r.Phase == PhaseRunning {
+			active++
+		}
+	}
+	c.Mgmt.CPUSeconds += (50e-6) + float64(active)*20e-6
+
+	for _, r := range c.API.List() {
+		if r.Phase != PhasePending {
+			continue
+		}
+		if err := c.start(r, now); err != nil {
+			c.API.setPhase(r, PhaseFailed, err.Error())
+		}
+	}
+}
+
+// start opens the node sessions for one request.
+func (c *Cluster) start(r *TraceRequest, now simtime.Time) error {
+	profile := c.profiles[r.Spec.App]
+	prog := c.Binaries[r.Spec.App]
+
+	// Temporal decider: period from app complexity unless overridden.
+	period := r.Spec.Period
+	if period <= 0 {
+		var binBytes uint64
+		if prog != nil {
+			binBytes = prog.TextSize
+		}
+		period = coverage.DecidePeriod(coverage.Complexity{
+			Priority:    profile.Priority,
+			BinaryBytes: binBytes,
+			PastIssues:  profile.PastIssues,
+		})
+	}
+
+	// Spatial sampler: pick repetitions among nodes hosting the app.
+	var hosts []*Node
+	for _, n := range c.Nodes {
+		if _, ok := n.Apps[r.Spec.App]; ok {
+			hosts = append(hosts, n)
+		}
+	}
+	if len(hosts) == 0 {
+		return fmt.Errorf("app %q deployed nowhere", r.Spec.App)
+	}
+	var selected []*Node
+	if r.Spec.Nodes != nil {
+		for _, want := range r.Spec.Nodes {
+			for _, n := range hosts {
+				if n.Name == want {
+					selected = append(selected, n)
+				}
+			}
+		}
+	} else {
+		reps := make([]coverage.Repetition, len(hosts))
+		for i, n := range hosts {
+			reps[i] = coverage.Repetition{Node: n.Name}
+		}
+		idx := coverage.SelectRepetitions(reps, coverage.SampleSpec{
+			Purpose:  r.Spec.Purpose,
+			Priority: profile.Priority,
+		}, c.rng)
+		for _, i := range idx {
+			selected = append(selected, hosts[i])
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no nodes selected for %q", r.Spec.App)
+	}
+
+	scale := r.Spec.Scale
+	if scale <= 0 {
+		scale = trace.SpaceScale
+	}
+	c.API.setPhase(r, PhaseRunning, "")
+	for _, n := range selected {
+		cfg := core.DefaultConfig()
+		cfg.Period = period
+		cfg.Scale = scale
+		cfg.SessionID = fmt.Sprintf("%s/%s", r.Name, n.Name)
+		cfg.Node = n.Name
+		cfg.Seed = c.Cfg.Seed ^ hashName(cfg.SessionID)
+		if r.Spec.MemBudget > 0 {
+			cfg.Mem = memalloc.Config{
+				Budget:     r.Spec.MemBudget,
+				PerCoreMin: 4 << 20,
+				PerCoreMax: 128 << 20,
+			}
+		}
+		sess, err := n.Ctrl.Trace(n.Apps[r.Spec.App], cfg)
+		if err != nil {
+			return err
+		}
+		r.pending++
+		r.sessions = append(r.sessions, sess)
+		node := n
+		sess.OnDone(func(s *core.Session) {
+			c.finishSession(r, node, s)
+		})
+	}
+	return nil
+}
+
+// Cancel aborts a running request: every open node session is closed
+// immediately and whatever was captured so far is kept.
+func (c *Cluster) Cancel(r *TraceRequest) {
+	if r.Phase != PhaseRunning {
+		return
+	}
+	for _, s := range r.sessions {
+		s.Cancel() // fires OnDone, which uploads and decrements pending
+	}
+}
+
+// finishSession uploads one completed session and decodes it into the
+// structured store; when the last session lands, the request completes.
+func (c *Cluster) finishSession(r *TraceRequest, n *Node, s *core.Session) {
+	res, err := s.Result()
+	if err != nil {
+		c.API.setPhase(r, PhaseFailed, err.Error())
+		return
+	}
+	key := "sessions/" + s.Cfg.SessionID
+	c.OSS.Put(key, res.Marshal())
+	r.SessionKeys = append(r.SessionKeys, key)
+	// Per-session management cost: upload bookkeeping and status update.
+	c.Mgmt.CPUSeconds += 100e-6
+
+	// Decode against the binary repository and persist structured rows.
+	if prog, ok := c.Binaries[r.Spec.App]; ok {
+		rec := decode.Decode(res, prog)
+		rows := make([]Row, 0, len(rec.FuncEntries))
+		for fn, count := range rec.FuncEntries {
+			rows = append(rows, Row{
+				App: r.Spec.App, Node: n.Name, Session: s.Cfg.SessionID,
+				Key: prog.Funcs[fn].Name, Value: float64(count),
+			})
+		}
+		c.ODPS.Insert(rows...)
+	}
+
+	r.pending--
+	if r.pending == 0 && r.Phase == PhaseRunning {
+		c.API.setPhase(r, PhaseCompleted, "")
+	}
+}
+
+// ManagementCores reports average management CPU cores used since start
+// (Figure 17's orchestration overhead).
+func (c *Cluster) ManagementCores() float64 {
+	elapsed := c.Eng.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return c.Mgmt.CPUSeconds / elapsed
+}
+
+// hashName derives a stable seed perturbation from a string.
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

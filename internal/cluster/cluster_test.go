@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"exist/internal/coverage"
+	"exist/internal/simtime"
+	"exist/internal/trace"
+	"exist/internal/workload"
+)
+
+func TestObjectStore(t *testing.T) {
+	o := NewObjectStore()
+	o.Put("sessions/a", []byte{1, 2, 3})
+	o.Put("sessions/b", []byte{4})
+	o.Put("other/c", []byte{5})
+	if o.Bytes() != 5 || o.Puts() != 3 {
+		t.Fatalf("accounting: %d bytes, %d puts", o.Bytes(), o.Puts())
+	}
+	o.Put("sessions/a", []byte{9, 9}) // replace
+	if o.Bytes() != 4 {
+		t.Fatalf("replace accounting: %d bytes", o.Bytes())
+	}
+	if got := o.List("sessions/"); len(got) != 2 || got[0] != "sessions/a" {
+		t.Fatalf("List = %v", got)
+	}
+	if b, ok := o.Get("sessions/a"); !ok || len(b) != 2 {
+		t.Fatalf("Get = %v %v", b, ok)
+	}
+	if _, ok := o.Get("missing"); ok {
+		t.Fatal("Get(missing) should fail")
+	}
+}
+
+func TestDataStore(t *testing.T) {
+	d := NewDataStore()
+	d.Insert(
+		Row{App: "a", Session: "s2", Key: "f1", Value: 2},
+		Row{App: "a", Session: "s1", Key: "f2", Value: 3},
+		Row{App: "b", Session: "s1", Key: "f1", Value: 7},
+		Row{App: "a", Session: "s1", Key: "f1", Value: 5},
+	)
+	rows := d.QueryApp("a")
+	if len(rows) != 3 || rows[0].Session != "s1" || rows[0].Key != "f1" {
+		t.Fatalf("QueryApp order wrong: %+v", rows)
+	}
+	agg := d.AggregateApp("a")
+	if agg["f1"] != 7 || agg["f2"] != 3 {
+		t.Fatalf("aggregate = %v", agg)
+	}
+	if !strings.Contains(d.String(), "4 rows") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestAPIServer(t *testing.T) {
+	a := NewAPIServer()
+	if _, err := a.Create("r1", TraceRequestSpec{App: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Create("r1", TraceRequestSpec{}); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	r, ok := a.Get("r1")
+	if !ok || r.Phase != PhasePending {
+		t.Fatalf("Get = %+v %v", r, ok)
+	}
+	if len(a.List()) != 1 {
+		t.Fatal("List wrong")
+	}
+}
+
+// testCluster deploys a walker-backed app on a small cluster.
+func testCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.CoresPerNode = 4
+	cfg.Seed = 3
+	c := New(cfg)
+	agent, err := workload.ByName("Agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(agent, nil, workload.InstallOpts{Walker: true, Scale: 1e-4, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEndToEndTraceRequest(t *testing.T) {
+	c := testCluster(t, 3)
+	req, err := c.Request("diag-1", TraceRequestSpec{
+		App:     "Agent",
+		Purpose: coverage.PurposeAnomaly,
+		Period:  200 * simtime.Millisecond,
+		Scale:   trace.SpaceScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * simtime.Second)
+	if req.Phase != PhaseCompleted {
+		t.Fatalf("request phase = %s (%s)", req.Phase, req.Message)
+	}
+	// Anomaly purpose with nothing flagged traces all three nodes.
+	if len(req.SessionKeys) != 3 {
+		t.Fatalf("sessions = %v", req.SessionKeys)
+	}
+	if c.OSS.Puts() != 3 || c.OSS.Bytes() == 0 {
+		t.Fatalf("OSS: %d puts, %d bytes", c.OSS.Puts(), c.OSS.Bytes())
+	}
+	// Sessions must round-trip from the object store.
+	for _, key := range req.SessionKeys {
+		blob, ok := c.OSS.Get(key)
+		if !ok {
+			t.Fatalf("session %s missing from OSS", key)
+		}
+		sess, err := trace.UnmarshalSession(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Workload != "Agent" || sess.Duration() != 200*simtime.Millisecond {
+			t.Fatalf("bad session: %+v", sess)
+		}
+	}
+	if c.ODPS.Len() == 0 {
+		t.Fatal("decoded rows never reached the structured store")
+	}
+	agg := c.ODPS.AggregateApp("Agent")
+	if len(agg) == 0 {
+		t.Fatal("aggregate empty")
+	}
+}
+
+func TestTemporalDeciderUsedWhenPeriodOmitted(t *testing.T) {
+	c := testCluster(t, 1)
+	req, err := c.Request("auto", TraceRequestSpec{App: "Agent", Purpose: coverage.PurposeAnomaly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(4 * simtime.Second)
+	if req.Phase != PhaseCompleted {
+		t.Fatalf("phase = %s (%s)", req.Phase, req.Message)
+	}
+	blob, _ := c.OSS.Get(req.SessionKeys[0])
+	sess, err := trace.UnmarshalSession(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sess.Duration()
+	if d < coverage.MinPeriod || d > coverage.MaxPeriod {
+		t.Fatalf("decided period %v outside bounds", d)
+	}
+}
+
+func TestRequestUnknownApp(t *testing.T) {
+	c := testCluster(t, 1)
+	if _, err := c.Request("bad", TraceRequestSpec{App: "nope"}); err == nil {
+		t.Fatal("unknown app should be rejected")
+	}
+}
+
+func TestSelectedNodesRespected(t *testing.T) {
+	c := testCluster(t, 3)
+	req, err := c.Request("pin", TraceRequestSpec{
+		App: "Agent", Period: 150 * simtime.Millisecond,
+		Nodes: []string{"node-1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(1 * simtime.Second)
+	if req.Phase != PhaseCompleted || len(req.SessionKeys) != 1 {
+		t.Fatalf("pin request: %+v", req)
+	}
+	if !strings.Contains(req.SessionKeys[0], "node-1") {
+		t.Fatalf("wrong node traced: %v", req.SessionKeys)
+	}
+}
+
+func TestManagementOverheadSmall(t *testing.T) {
+	c := testCluster(t, 10)
+	if _, err := c.Request("r", TraceRequestSpec{App: "Agent", Period: 500 * simtime.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * simtime.Second)
+	cores := c.ManagementCores()
+	// The paper: RCO consumes < 3e-3 cores for a ten-node cluster.
+	if cores <= 0 || cores > 3e-3 {
+		t.Fatalf("management cores = %v, want (0, 3e-3]", cores)
+	}
+	if c.Mgmt.MemMB != 40 {
+		t.Fatalf("management memory = %v", c.Mgmt.MemMB)
+	}
+	if c.Mgmt.Reconciles < 10 {
+		t.Fatalf("reconciles = %d", c.Mgmt.Reconciles)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	c := testCluster(t, 2)
+	agent, _ := workload.ByName("Agent")
+	if err := c.Deploy(agent, []string{"node-0"}, workload.InstallOpts{Seed: 1}); err == nil {
+		t.Fatal("duplicate deploy should fail")
+	}
+	mc, _ := workload.ByName("mc")
+	if err := c.Deploy(mc, []string{"ghost"}, workload.InstallOpts{Seed: 1}); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+}
+
+func TestWatchNotifications(t *testing.T) {
+	c := testCluster(t, 2)
+	var phases []Phase
+	c.API.Watch(func(r *TraceRequest) { phases = append(phases, r.Phase) })
+	if _, err := c.Request("w", TraceRequestSpec{App: "Agent", Period: 200 * simtime.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * simtime.Second)
+	if len(phases) < 2 || phases[0] != PhaseRunning || phases[len(phases)-1] != PhaseCompleted {
+		t.Fatalf("watch phases = %v", phases)
+	}
+}
+
+func TestCancelRequest(t *testing.T) {
+	c := testCluster(t, 2)
+	req, err := c.Request("c", TraceRequestSpec{App: "Agent", Period: 1500 * simtime.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it start, then cancel mid-window.
+	c.Run(400 * simtime.Millisecond)
+	if req.Phase != PhaseRunning {
+		t.Fatalf("phase = %s before cancel", req.Phase)
+	}
+	c.Cancel(req)
+	if req.Phase != PhaseCompleted {
+		t.Fatalf("phase = %s after cancel, want Completed", req.Phase)
+	}
+	// Partial sessions were still uploaded.
+	if len(req.SessionKeys) == 0 {
+		t.Fatal("cancelled request uploaded nothing")
+	}
+	for _, key := range req.SessionKeys {
+		blob, ok := c.OSS.Get(key)
+		if !ok {
+			t.Fatalf("session %s missing", key)
+		}
+		sess, err := trace.UnmarshalSession(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Duration() >= 1500*simtime.Millisecond {
+			t.Fatalf("cancelled session has full window %v", sess.Duration())
+		}
+	}
+	// No tracer may remain enabled anywhere.
+	for _, n := range c.Nodes {
+		for _, core := range n.Machine.Cores {
+			if core.Tracer.Enabled() {
+				t.Fatalf("node %s core %d tracer still enabled", n.Name, core.ID)
+			}
+		}
+	}
+	c.Run(3 * simtime.Second) // the orphaned HRTs must not fire into closed sessions
+}

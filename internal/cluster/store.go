@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObjectStore is the unstructured blob store EXIST uploads raw sessions
+// to (the OSS stand-in of §4): traced data goes straight to the object
+// store instead of node-local files, avoiding node memory and file I/O.
+type ObjectStore struct {
+	blobs map[string][]byte
+	bytes int64
+	puts  int64
+}
+
+// NewObjectStore returns an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{blobs: make(map[string][]byte)}
+}
+
+// Put stores a blob under key, replacing any previous value.
+func (o *ObjectStore) Put(key string, data []byte) {
+	if old, ok := o.blobs[key]; ok {
+		o.bytes -= int64(len(old))
+	}
+	o.blobs[key] = append([]byte(nil), data...)
+	o.bytes += int64(len(data))
+	o.puts++
+}
+
+// Get retrieves a blob.
+func (o *ObjectStore) Get(key string) ([]byte, bool) {
+	b, ok := o.blobs[key]
+	return b, ok
+}
+
+// List returns all keys with the prefix, sorted.
+func (o *ObjectStore) List(prefix string) []string {
+	var keys []string
+	for k := range o.blobs {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Bytes returns the stored volume.
+func (o *ObjectStore) Bytes() int64 { return o.bytes }
+
+// Puts returns the number of uploads.
+func (o *ObjectStore) Puts() int64 { return o.puts }
+
+// Row is one structured record in the processing store.
+type Row struct {
+	// App, Node and Session identify the source.
+	App, Node, Session string
+	// Key and Value are the datum (e.g. a function name and its
+	// occurrence count).
+	Key   string
+	Value float64
+}
+
+// DataStore is the structured, queryable store decoded results land in
+// (the ODPS stand-in of §4); engineers query it for analysis and
+// reproduction.
+type DataStore struct {
+	rows []Row
+}
+
+// NewDataStore returns an empty store.
+func NewDataStore() *DataStore { return &DataStore{} }
+
+// Insert appends rows.
+func (d *DataStore) Insert(rows ...Row) { d.rows = append(d.rows, rows...) }
+
+// Len returns the row count.
+func (d *DataStore) Len() int { return len(d.rows) }
+
+// QueryApp returns all rows for an app, ordered by (session, key).
+func (d *DataStore) QueryApp(app string) []Row {
+	var out []Row
+	for _, r := range d.rows {
+		if r.App == app {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// AggregateApp sums Value by Key across an app's sessions.
+func (d *DataStore) AggregateApp(app string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range d.rows {
+		if r.App == app {
+			out[r.Key] += r.Value
+		}
+	}
+	return out
+}
+
+// String summarizes the store.
+func (d *DataStore) String() string {
+	return fmt.Sprintf("datastore(%d rows)", len(d.rows))
+}

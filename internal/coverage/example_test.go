@@ -1,0 +1,28 @@
+package coverage_test
+
+import (
+	"fmt"
+
+	"exist/internal/coverage"
+	"exist/internal/xrand"
+)
+
+func ExampleDecidePeriod() {
+	simple := coverage.DecidePeriod(coverage.Complexity{Priority: 2, BinaryBytes: 2 << 20})
+	complexApp := coverage.DecidePeriod(coverage.Complexity{Priority: 9, BinaryBytes: 48 << 20, PastIssues: 6})
+	fmt.Println(simple, complexApp)
+	// Output: 300.000ms 1.600s
+}
+
+func ExampleSelectRepetitions() {
+	// An anomaly on two of four instances: trace exactly those.
+	reps := []coverage.Repetition{
+		{Node: "node-0"},
+		{Node: "node-1", Anomalous: true},
+		{Node: "node-2"},
+		{Node: "node-3", Anomalous: true},
+	}
+	picked := coverage.SelectRepetitions(reps, coverage.SampleSpec{Purpose: coverage.PurposeAnomaly}, xrand.New(1))
+	fmt.Println(picked)
+	// Output: [1 3]
+}

@@ -1,0 +1,350 @@
+// Package decode reconstructs execution flow from PT packet streams — the
+// role libipt plays in the paper's pipeline. Given a session's per-core
+// packet buffers, the five-tuple context-switch sidecar, and the traced
+// program binary, it replays the control-flow graph: silent edges
+// (fall-throughs, direct jumps, direct calls) are followed statically,
+// conditional branches consume TNT bits, and indirect transfers and
+// returns consume TIP payloads. The result is a per-thread branch stream
+// directly comparable to the ground truth, plus the aggregate profiles
+// (function categories, memory-access mix) the paper's case study reports.
+package decode
+
+import (
+	"fmt"
+	"sort"
+
+	"exist/internal/binary"
+	"exist/internal/ipt"
+	"exist/internal/kernel"
+	"exist/internal/simtime"
+	"exist/internal/trace"
+)
+
+// Result is a reconstruction of one or more packet streams.
+type Result struct {
+	// ByThread holds each thread's reconstructed event stream, in order.
+	ByThread map[int32][]trace.Event
+	// FuncEntries is the function occurrence histogram (indirect-call
+	// entries, matching trace.GroundTruth's counting rule).
+	FuncEntries map[int32]int64
+	// CatHits counts every decoded block (including silently-walked ones)
+	// by function category — the Figure 21 profile.
+	CatHits [binary.NumCategories]int64
+	// MemOps accumulates decoded blocks' memory-access counts — the
+	// Figure 22 profile.
+	MemOps [binary.NumMemClasses][4]int64
+	// Blocks is the total number of blocks visited.
+	Blocks int64
+	// Events is the total number of reconstructed branch events.
+	Events int64
+	// BytesDecoded counts packet bytes consumed.
+	BytesDecoded int64
+	// PTWrites holds decoded PTWRITE operands in stream order with their
+	// attributed threads (the §6.1 data-flow extension).
+	PTWrites []PTWrite
+	// Errors lists decode problems (truncation at a stopped buffer is
+	// normal; anything else indicates desync).
+	Errors []string
+}
+
+// PTWrite is one decoded PTWRITE operand.
+type PTWrite struct {
+	TID int32
+	Val uint64
+}
+
+// newResult returns an empty result.
+func newResult() *Result {
+	return &Result{
+		ByThread:    make(map[int32][]trace.Event),
+		FuncEntries: make(map[int32]int64),
+	}
+}
+
+// Merge folds other into r (used by the cluster-level trace augmentation).
+func (r *Result) Merge(other *Result) {
+	for tid, evs := range other.ByThread {
+		r.ByThread[tid] = append(r.ByThread[tid], evs...)
+	}
+	for fn, n := range other.FuncEntries {
+		r.FuncEntries[fn] += n
+	}
+	for i := range r.CatHits {
+		r.CatHits[i] += other.CatHits[i]
+	}
+	for c := range r.MemOps {
+		for w := range r.MemOps[c] {
+			r.MemOps[c][w] += other.MemOps[c][w]
+		}
+	}
+	r.PTWrites = append(r.PTWrites, other.PTWrites...)
+	r.Blocks += other.Blocks
+	r.Events += other.Events
+	r.BytesDecoded += other.BytesDecoded
+	r.Errors = append(r.Errors, other.Errors...)
+}
+
+// sidecarIndex resolves schedule-in records per core for thread
+// attribution.
+type sidecarIndex struct {
+	byCore map[int32][]kernel.SwitchRecord
+}
+
+func buildSidecar(log *kernel.SwitchLog) *sidecarIndex {
+	idx := &sidecarIndex{byCore: make(map[int32][]kernel.SwitchRecord)}
+	for _, r := range log.Records {
+		if r.Op == kernel.OpIn {
+			idx.byCore[r.CPU] = append(idx.byCore[r.CPU], r)
+		}
+	}
+	for cpu := range idx.byCore {
+		rs := idx.byCore[cpu]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].TS < rs[j].TS })
+	}
+	return idx
+}
+
+// tidAt returns the thread scheduled in on cpu at or before ts.
+func (idx *sidecarIndex) tidAt(cpu int, ts simtime.Time) (int32, bool) {
+	rs := idx.byCore[int32(cpu)]
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].TS > ts })
+	if i == 0 {
+		return 0, false
+	}
+	return rs[i-1].TID, true
+}
+
+// Decode reconstructs a whole session against its program binary. A
+// thread's execution is spread over per-core streams as it migrates; the
+// decoder re-serializes each thread's segments by their timestamps so the
+// per-thread event order matches execution order.
+func Decode(s *trace.Session, prog *binary.Program) *Result {
+	res := newResult()
+	idx := buildSidecar(&s.Switches)
+	var segs []*segment
+	for i := range s.Cores {
+		segs = append(segs, decodeStream(res, prog, idx, s.Cores[i].Core, s.Cores[i].Data, s.Cores[i].Wrapped)...)
+	}
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].ts < segs[j].ts })
+	for _, sg := range segs {
+		res.ByThread[sg.tid] = append(res.ByThread[sg.tid], sg.events...)
+	}
+	return res
+}
+
+// DecodeStream reconstructs a single core's packet buffer (exported for
+// tests and tools).
+func DecodeStream(prog *binary.Program, log *kernel.SwitchLog, core int, data []byte) *Result {
+	res := newResult()
+	var idx *sidecarIndex
+	if log != nil {
+		idx = buildSidecar(log)
+	} else {
+		idx = buildSidecar(&kernel.SwitchLog{})
+	}
+	for _, sg := range decodeStream(res, prog, idx, core, data, false) {
+		res.ByThread[sg.tid] = append(res.ByThread[sg.tid], sg.events...)
+	}
+	return res
+}
+
+// segment is one contiguous traced span on one core, attributed to a
+// thread and anchored at its TIP.PGE timestamp.
+type segment struct {
+	tid    int32
+	ts     simtime.Time
+	events []trace.Event
+}
+
+// silentWalkCap bounds CFG walking between packets; the generator
+// guarantees silent edges make forward progress, so this only trips on a
+// corrupt stream.
+const silentWalkCap = 1 << 20
+
+// decoder holds per-stream state.
+type decoder struct {
+	res     *Result
+	prog    *binary.Program
+	idx     *sidecarIndex
+	core    int
+	tracing bool
+	cur     binary.BlockID
+	curOK   bool
+	tid     int32
+	lastTSC simtime.Time
+	seg     *segment
+	segs    []*segment
+}
+
+func decodeStream(res *Result, prog *binary.Program, idx *sidecarIndex, core int, data []byte, wrapped bool) []*segment {
+	d := &decoder{res: res, prog: prog, idx: idx, core: core, tid: -1}
+	p := ipt.NewParser(data)
+	if wrapped {
+		// Ring-buffer output starts mid-stream: resynchronize at a PSB.
+		if !p.Sync() {
+			res.Errors = append(res.Errors, fmt.Sprintf("core %d: wrapped stream has no PSB", core))
+			return nil
+		}
+	}
+	for {
+		pkt, ok, err := p.Next()
+		if err != nil {
+			// A truncated trailing packet is the normal signature of a
+			// compulsory-drop stop; anything mid-stream is a desync.
+			res.Errors = append(res.Errors, fmt.Sprintf("core %d: %v", core, err))
+			break
+		}
+		if !ok {
+			break
+		}
+		d.packet(pkt)
+	}
+	res.BytesDecoded += int64(p.Pos())
+	return d.segs
+}
+
+// packet advances the decoder by one packet.
+func (d *decoder) packet(pkt ipt.Packet) {
+	switch pkt.Kind {
+	case ipt.PktTSC:
+		d.lastTSC = simtime.Time(pkt.Val)
+	case ipt.PktTIPPGE:
+		d.tracing = true
+		id, ok := d.prog.BlockAt(pkt.Val)
+		d.cur, d.curOK = id, ok
+		if !ok {
+			d.err("TIP.PGE at unknown address %#x", pkt.Val)
+		}
+		if tid, ok := d.idx.tidAt(d.core, d.lastTSC); ok {
+			d.tid = tid
+		} else {
+			d.tid = -1
+		}
+		d.seg = &segment{tid: d.tid, ts: d.lastTSC}
+		d.segs = append(d.segs, d.seg)
+	case ipt.PktTIPPGD:
+		d.tracing = false
+		d.curOK = false
+	case ipt.PktTNT:
+		if !d.tracing || !d.curOK {
+			return
+		}
+		for i := 0; i < int(pkt.Len); i++ {
+			if !d.consumeCond(pkt.TNTBit(i)) {
+				return
+			}
+		}
+	case ipt.PktTIP:
+		if !d.tracing || !d.curOK {
+			return
+		}
+		d.consumeTIP(pkt.Val)
+	case ipt.PktPTW:
+		if d.tracing {
+			d.res.PTWrites = append(d.res.PTWrites, PTWrite{TID: d.tid, Val: pkt.Val})
+		}
+	case ipt.PktPSB, ipt.PktPSBEND, ipt.PktMODE, ipt.PktPIP, ipt.PktCYC, ipt.PktPAD, ipt.PktFUP:
+		// Stateless for reconstruction purposes (PAD is also the bulk
+		// filler of analytic sessions, which are not decodable).
+	}
+}
+
+// walkSilent advances through non-packet-producing edges until the current
+// block's terminator needs trace input. Reports false on desync.
+func (d *decoder) walkSilent() bool {
+	for steps := 0; steps < silentWalkCap; steps++ {
+		b := &d.prog.Blocks[d.cur]
+		d.visit(d.cur)
+		switch b.Term {
+		case binary.TermFall, binary.TermSyscall:
+			d.cur = b.Fall
+		case binary.TermJump:
+			d.cur = b.Taken
+		case binary.TermCall:
+			d.cur = b.Taken
+		default:
+			return true
+		}
+	}
+	d.err("silent walk did not converge at block %d", d.cur)
+	d.curOK = false
+	return false
+}
+
+// consumeCond walks to the next conditional branch and applies one TNT bit.
+func (d *decoder) consumeCond(taken bool) bool {
+	if !d.walkSilent() {
+		return false
+	}
+	b := &d.prog.Blocks[d.cur]
+	if b.Term != binary.TermCond {
+		d.err("TNT bit arrived at non-conditional block %d (%v)", d.cur, b.Term)
+		d.curOK = false
+		return false
+	}
+	target := b.Fall
+	if taken {
+		target = b.Taken
+	}
+	d.emit(trace.Event{TID: d.tid, Block: d.cur, Target: target, Kind: binary.TermCond, Taken: taken})
+	d.cur = target
+	return true
+}
+
+// consumeTIP walks to the next indirect transfer and applies a TIP target.
+func (d *decoder) consumeTIP(ip uint64) {
+	if !d.walkSilent() {
+		return
+	}
+	b := &d.prog.Blocks[d.cur]
+	switch b.Term {
+	case binary.TermIndirectJump, binary.TermIndirectCall, binary.TermReturn:
+	default:
+		d.err("TIP arrived at block %d with terminator %v", d.cur, b.Term)
+		d.curOK = false
+		return
+	}
+	target, ok := d.prog.BlockAt(ip)
+	if !ok {
+		d.err("TIP to unknown address %#x", ip)
+		d.curOK = false
+		return
+	}
+	d.emit(trace.Event{TID: d.tid, Block: d.cur, Target: target, Kind: b.Term})
+	d.cur = target
+}
+
+// visit accounts one decoded block.
+func (d *decoder) visit(id binary.BlockID) {
+	b := &d.prog.Blocks[id]
+	d.res.Blocks++
+	d.res.CatHits[d.prog.Funcs[b.Func].Category]++
+	for c := 0; c < binary.NumMemClasses; c++ {
+		for w := 0; w < 4; w++ {
+			d.res.MemOps[c][w] += int64(b.MemOps[c][w])
+		}
+	}
+}
+
+// emit records one reconstructed event into the current segment, counting
+// function occurrences under the same rule trace.GroundTruth uses:
+// indirect-call entries only (returns restarting the service loop would
+// swamp the histogram with the loop head).
+func (d *decoder) emit(ev trace.Event) {
+	if d.seg == nil {
+		d.seg = &segment{tid: d.tid, ts: d.lastTSC}
+		d.segs = append(d.segs, d.seg)
+	}
+	d.seg.events = append(d.seg.events, ev)
+	d.res.Events++
+	if ev.Kind == binary.TermIndirectCall {
+		if fn, ok := d.prog.EntryFuncOf(ev.Target); ok {
+			d.res.FuncEntries[fn]++
+		}
+	}
+}
+
+// err records a decode problem.
+func (d *decoder) err(format string, args ...any) {
+	d.res.Errors = append(d.res.Errors, fmt.Sprintf("core %d: ", d.core)+fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import "testing"
+
+func TestFig13Smoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	res, err := runFig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	for _, m := range res.SortedMetrics() {
+		t.Logf("%s = %v", m, res.Metrics[m])
+	}
+}
+
+func TestFig14Smoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	res, err := runFig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+}
+
+func TestMotivationSmoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"fig03a", "fig03b", "fig04", "fig05", "fig08"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + res.Render())
+	}
+}
+
+func TestEfficiencySmoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"fig15", "fig16", "tab04", "fig17"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + res.Render())
+	}
+}
+
+func TestAccuracySmoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"fig11", "fig12", "fig18", "fig19", "fig20", "acc-bench"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + res.Render())
+	}
+}
+
+func TestCaseStudySmoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"fig21", "fig22", "tab05", "casestudy"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + res.Render())
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"ablation-control", "ablation-drop"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + res.Render())
+	}
+}
+
+func TestHotswapAndPTWrite(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	e, err := ByID("ablation-hotswap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	m := res.Metrics
+	if !(m["exist_ops"] < m["hot_ops"] && m["hot_ops"] < m["cold_ops"]) {
+		t.Fatalf("expected EXIST < hot < cold MSR ops: %v", m)
+	}
+	if m["hot_ops"]*2.5 > m["cold_ops"] {
+		t.Fatalf("hot switching should cut per-swap ops substantially: %v", m)
+	}
+}

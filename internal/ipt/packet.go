@@ -1,0 +1,328 @@
+package ipt
+
+import "fmt"
+
+// PacketKind identifies a trace packet type.
+type PacketKind uint8
+
+const (
+	// PktPAD is a one-byte padding packet.
+	PktPAD PacketKind = iota
+	// PktPSB is the 16-byte packet stream boundary (decoder sync point).
+	PktPSB
+	// PktPSBEND closes the PSB+ header group.
+	PktPSBEND
+	// PktTNT carries up to six conditional-branch taken/not-taken bits.
+	PktTNT
+	// PktTIP carries the target IP of an indirect branch.
+	PktTIP
+	// PktTIPPGE marks tracing (re)starting at an IP (packet generation enable).
+	PktTIPPGE
+	// PktTIPPGD marks tracing stopping (packet generation disable).
+	PktTIPPGD
+	// PktFUP carries the source IP of an asynchronous event.
+	PktFUP
+	// PktTSC carries a 56-bit timestamp.
+	PktTSC
+	// PktPIP carries the CR3 value on a paging change (process switch).
+	PktPIP
+	// PktMODE carries execution mode details.
+	PktMODE
+	// PktCYC carries an elapsed-cycle count.
+	PktCYC
+	// PktPTW carries a PTWRITE operand: the data-flow enhancement the
+	// paper's §6.1 describes for supplementing control-flow traces.
+	PktPTW
+)
+
+// String returns the conventional packet mnemonic.
+func (k PacketKind) String() string {
+	switch k {
+	case PktPAD:
+		return "PAD"
+	case PktPSB:
+		return "PSB"
+	case PktPSBEND:
+		return "PSBEND"
+	case PktTNT:
+		return "TNT"
+	case PktTIP:
+		return "TIP"
+	case PktTIPPGE:
+		return "TIP.PGE"
+	case PktTIPPGD:
+		return "TIP.PGD"
+	case PktFUP:
+		return "FUP"
+	case PktTSC:
+		return "TSC"
+	case PktPIP:
+		return "PIP"
+	case PktMODE:
+		return "MODE"
+	case PktCYC:
+		return "CYC"
+	case PktPTW:
+		return "PTW"
+	default:
+		return "BAD"
+	}
+}
+
+// Packet is one parsed trace packet. Val holds the payload: the IP for TIP
+// packets, the timestamp for TSC, the CR3 for PIP, the cycle count for CYC.
+// For TNT packets, Bits holds the taken/not-taken bits (oldest at bit 0)
+// and Len the number of valid bits.
+type Packet struct {
+	Kind PacketKind
+	Val  uint64
+	Bits uint8
+	Len  uint8
+}
+
+// TNTBit returns the i-th (oldest-first) taken bit of a TNT packet.
+func (p Packet) TNTBit(i int) bool { return p.Bits&(1<<uint(i)) != 0 }
+
+// Header bytes of the single-byte-header packets.
+const (
+	hdrPAD     = 0x00
+	hdrTSC     = 0x19
+	hdrMODE    = 0x99
+	hdrTIP     = 0x6D // IPBytes=3 (6-byte payload) | 0x0D
+	hdrTIPPGE  = 0x71 // IPBytes=3 | 0x11
+	hdrTIPPGD  = 0x61 // IPBytes=3 | 0x01
+	hdrFUP     = 0x7D // IPBytes=3 | 0x1D
+	hdrExt     = 0x02 // extended (two-byte) header escape
+	ext2PSB    = 0x82
+	ext2PSBEND = 0x23
+	ext2PIP    = 0x43
+	ext2PTW    = 0x32 // PTWRITE, 8-byte operand payload
+)
+
+// PSBSize is the encoded size of a PSB packet.
+const PSBSize = 16
+
+// AppendPSB appends a packet stream boundary: eight repetitions of 02 82.
+func AppendPSB(dst []byte) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, hdrExt, ext2PSB)
+	}
+	return dst
+}
+
+// AppendPSBEND appends a PSBEND packet.
+func AppendPSBEND(dst []byte) []byte { return append(dst, hdrExt, ext2PSBEND) }
+
+// AppendTNT appends a short TNT packet holding n (1..6) branch bits.
+// Bit i of bits is the i-th oldest branch. The encoding places the oldest
+// bit at byte bit 1 and a stop bit just above the newest.
+func AppendTNT(dst []byte, bits uint8, n int) []byte {
+	if n < 1 || n > 6 {
+		panic(fmt.Sprintf("ipt: TNT packet with %d bits", n))
+	}
+	b := byte(1) << uint(n+1) // stop bit
+	b |= (bits & ((1 << uint(n)) - 1)) << 1
+	return append(dst, b)
+}
+
+// AppendTIP appends a TIP-class packet (TIP, TIP.PGE, TIP.PGD, FUP) with a
+// 6-byte IP payload.
+func AppendTIP(dst []byte, kind PacketKind, ip uint64) []byte {
+	var hdr byte
+	switch kind {
+	case PktTIP:
+		hdr = hdrTIP
+	case PktTIPPGE:
+		hdr = hdrTIPPGE
+	case PktTIPPGD:
+		hdr = hdrTIPPGD
+	case PktFUP:
+		hdr = hdrFUP
+	default:
+		panic("ipt: AppendTIP with non-TIP kind " + kind.String())
+	}
+	dst = append(dst, hdr)
+	for i := 0; i < 6; i++ {
+		dst = append(dst, byte(ip>>(8*uint(i))))
+	}
+	return dst
+}
+
+// AppendTSC appends a TSC packet with a 56-bit timestamp payload.
+func AppendTSC(dst []byte, tsc uint64) []byte {
+	dst = append(dst, hdrTSC)
+	for i := 0; i < 7; i++ {
+		dst = append(dst, byte(tsc>>(8*uint(i))))
+	}
+	return dst
+}
+
+// AppendPIP appends a PIP packet carrying a CR3 (48 significant bits).
+func AppendPIP(dst []byte, cr3 uint64) []byte {
+	dst = append(dst, hdrExt, ext2PIP)
+	for i := 0; i < 6; i++ {
+		dst = append(dst, byte(cr3>>(8*uint(i))))
+	}
+	return dst
+}
+
+// AppendPTW appends a PTWRITE packet with an 8-byte operand.
+func AppendPTW(dst []byte, val uint64) []byte {
+	dst = append(dst, hdrExt, ext2PTW)
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(val>>(8*uint(i))))
+	}
+	return dst
+}
+
+// AppendMODE appends a MODE.Exec packet.
+func AppendMODE(dst []byte, mode uint8) []byte {
+	return append(dst, hdrMODE, mode)
+}
+
+// AppendCYC appends a CYC packet carrying up to 63 elapsed cycles (larger
+// counts are clamped; the model does not need CYC extension bytes).
+func AppendCYC(dst []byte, cycles uint32) []byte {
+	if cycles > 63 {
+		cycles = 63
+	}
+	return append(dst, byte(cycles<<2|0x3))
+}
+
+// Parser iterates over the packets in a trace buffer.
+type Parser struct {
+	buf []byte
+	pos int
+}
+
+// NewParser returns a parser over buf.
+func NewParser(buf []byte) *Parser { return &Parser{buf: buf} }
+
+// Pos returns the current byte offset.
+func (p *Parser) Pos() int { return p.pos }
+
+// Sync advances the parser to the next PSB boundary, discarding bytes
+// before it. It reports whether a PSB was found. Decoders use this to
+// begin decoding a wrapped ring buffer at a clean boundary.
+func (p *Parser) Sync() bool {
+	for i := p.pos; i+PSBSize <= len(p.buf); i++ {
+		ok := true
+		for j := 0; j < PSBSize; j += 2 {
+			if p.buf[i+j] != hdrExt || p.buf[i+j+1] != ext2PSB {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			p.pos = i
+			return true
+		}
+	}
+	p.pos = len(p.buf)
+	return false
+}
+
+// Next parses the next packet. It returns ok=false at end of buffer and a
+// non-nil error for a malformed or truncated packet.
+func (p *Parser) Next() (pkt Packet, ok bool, err error) {
+	if p.pos >= len(p.buf) {
+		return Packet{}, false, nil
+	}
+	b := p.buf[p.pos]
+	switch {
+	case b == hdrPAD:
+		p.pos++
+		return Packet{Kind: PktPAD}, true, nil
+	case b == hdrExt:
+		return p.nextExt()
+	case b == hdrTSC:
+		v, err := p.payload(1, 7)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		return Packet{Kind: PktTSC, Val: v}, true, nil
+	case b == hdrMODE:
+		v, err := p.payload(1, 1)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		return Packet{Kind: PktMODE, Val: v}, true, nil
+	case b == hdrTIP || b == hdrTIPPGE || b == hdrTIPPGD || b == hdrFUP:
+		kind := map[byte]PacketKind{
+			hdrTIP: PktTIP, hdrTIPPGE: PktTIPPGE, hdrTIPPGD: PktTIPPGD, hdrFUP: PktFUP,
+		}[b]
+		v, err := p.payload(1, 6)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		return Packet{Kind: kind, Val: v}, true, nil
+	case b&0x3 == 0x3:
+		p.pos++
+		return Packet{Kind: PktCYC, Val: uint64(b >> 2)}, true, nil
+	case b&0x1 == 0:
+		// Short TNT: find the stop bit (highest set bit).
+		stop := 7
+		for stop > 0 && b&(1<<uint(stop)) == 0 {
+			stop--
+		}
+		if stop < 2 {
+			return Packet{}, false, fmt.Errorf("ipt: bad TNT byte %#02x at %d", b, p.pos)
+		}
+		n := stop - 1
+		bits := (b >> 1) & ((1 << uint(n)) - 1)
+		p.pos++
+		return Packet{Kind: PktTNT, Bits: bits, Len: uint8(n)}, true, nil
+	default:
+		return Packet{}, false, fmt.Errorf("ipt: unknown packet header %#02x at %d", b, p.pos)
+	}
+}
+
+// nextExt parses a two-byte-header (0x02-escaped) packet.
+func (p *Parser) nextExt() (Packet, bool, error) {
+	if p.pos+1 >= len(p.buf) {
+		return Packet{}, false, fmt.Errorf("ipt: truncated extended packet at %d", p.pos)
+	}
+	switch p.buf[p.pos+1] {
+	case ext2PSB:
+		if p.pos+PSBSize > len(p.buf) {
+			return Packet{}, false, fmt.Errorf("ipt: truncated PSB at %d", p.pos)
+		}
+		for j := 0; j < PSBSize; j += 2 {
+			if p.buf[p.pos+j] != hdrExt || p.buf[p.pos+j+1] != ext2PSB {
+				return Packet{}, false, fmt.Errorf("ipt: corrupt PSB at %d", p.pos)
+			}
+		}
+		p.pos += PSBSize
+		return Packet{Kind: PktPSB}, true, nil
+	case ext2PSBEND:
+		p.pos += 2
+		return Packet{Kind: PktPSBEND}, true, nil
+	case ext2PIP:
+		v, err := p.payload(2, 6)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		return Packet{Kind: PktPIP, Val: v}, true, nil
+	case ext2PTW:
+		v, err := p.payload(2, 8)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		return Packet{Kind: PktPTW, Val: v}, true, nil
+	default:
+		return Packet{}, false, fmt.Errorf("ipt: unknown extended packet %#02x at %d", p.buf[p.pos+1], p.pos)
+	}
+}
+
+// payload consumes hdr header bytes plus n little-endian payload bytes.
+func (p *Parser) payload(hdr, n int) (uint64, error) {
+	if p.pos+hdr+n > len(p.buf) {
+		return 0, fmt.Errorf("ipt: truncated packet at %d", p.pos)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(p.buf[p.pos+hdr+i]) << (8 * uint(i))
+	}
+	p.pos += hdr + n
+	return v, nil
+}

@@ -1,0 +1,139 @@
+package ipt
+
+// ToPA models the Table of Physical Addresses output mechanism: a chain of
+// variable-sized memory regions that the tracer fills in order. Two end
+// behaviours exist, selected by the STOP bit of the last table entry:
+//
+//   - Stop mode (EXIST's "compulsory tracing" policy, §3.3): when the last
+//     region fills, the hardware sets the Stopped status and drops further
+//     output. This keeps the data closest to the anomaly that triggered
+//     tracing and caps memory use.
+//   - Ring mode (the REPT-style policy, kept for the ablation benchmarks):
+//     output wraps to the first region, overwriting the oldest data.
+type ToPA struct {
+	regions [][]byte
+	cur     int
+	ring    bool
+	stopped bool
+	wrapped bool
+	written int64
+	dropped int64
+}
+
+// NewToPA builds an output chain with the given region sizes in bytes. If
+// ring is false the final entry carries the STOP bit.
+func NewToPA(sizes []int, ring bool) *ToPA {
+	if len(sizes) == 0 {
+		panic("ipt: ToPA needs at least one region")
+	}
+	t := &ToPA{ring: ring}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic("ipt: ToPA region size must be positive")
+		}
+		t.regions = append(t.regions, make([]byte, 0, s))
+	}
+	return t
+}
+
+// NewSingleToPA builds a one-region stop-mode chain, the common EXIST
+// per-core configuration.
+func NewSingleToPA(size int) *ToPA { return NewToPA([]int{size}, false) }
+
+// Capacity returns the total size of all regions.
+func (t *ToPA) Capacity() int64 {
+	var c int64
+	for _, r := range t.regions {
+		c += int64(cap(r))
+	}
+	return c
+}
+
+// Used returns the number of valid bytes currently stored.
+func (t *ToPA) Used() int64 {
+	var u int64
+	for _, r := range t.regions {
+		u += int64(len(r))
+	}
+	return u
+}
+
+// Written returns the total bytes ever accepted (>= Used in ring mode).
+func (t *ToPA) Written() int64 { return t.written }
+
+// Dropped returns the bytes discarded after the STOP region filled.
+func (t *ToPA) Dropped() int64 { return t.dropped }
+
+// Stopped reports whether the STOP region has filled.
+func (t *ToPA) Stopped() bool { return t.stopped }
+
+// Wrapped reports whether ring-mode output has overwritten old data.
+func (t *ToPA) Wrapped() bool { return t.wrapped }
+
+// Write appends p to the output chain, splitting across regions as
+// needed. It reports whether all bytes were stored; in stop mode, bytes
+// beyond the STOP region are counted as dropped and false is returned.
+func (t *ToPA) Write(p []byte) bool {
+	for len(p) > 0 {
+		if t.stopped {
+			t.dropped += int64(len(p))
+			return false
+		}
+		r := t.regions[t.cur]
+		space := cap(r) - len(r)
+		if space == 0 {
+			if !t.advance() {
+				continue // stopped; loop records the drop
+			}
+			r = t.regions[t.cur]
+			space = cap(r) - len(r)
+		}
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		t.regions[t.cur] = append(r, p[:n]...)
+		t.written += int64(n)
+		p = p[n:]
+	}
+	return true
+}
+
+// advance moves to the next region, wrapping or stopping at the end of the
+// chain. It reports whether writing can continue.
+func (t *ToPA) advance() bool {
+	if t.cur+1 < len(t.regions) {
+		t.cur++
+		return true
+	}
+	if t.ring {
+		t.wrapped = true
+		t.cur = 0
+		for i := range t.regions {
+			t.regions[i] = t.regions[i][:0]
+		}
+		return true
+	}
+	t.stopped = true
+	return false
+}
+
+// Bytes returns the stored trace in write order. In a wrapped ring the
+// result starts mid-stream; decoders must Sync to the next PSB.
+func (t *ToPA) Bytes() []byte {
+	out := make([]byte, 0, t.Used())
+	for _, r := range t.regions {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Reset clears all regions and status for reuse in a new tracing window.
+func (t *ToPA) Reset() {
+	for i := range t.regions {
+		t.regions[i] = t.regions[i][:0]
+	}
+	t.cur = 0
+	t.stopped, t.wrapped = false, false
+	t.written, t.dropped = 0, 0
+}

@@ -1,0 +1,293 @@
+// Package report synthesizes decoded traces into the human-readable
+// application-behaviour summaries EXIST returns to on-call engineers and
+// developers (§3.1: "the collected instruction traces are automatically
+// synthesized into human-readable application behaviors").
+//
+// A report combines three inputs: the reconstruction (what executed), the
+// program binary (names and categories), and the session (window, sidecar,
+// buffer health) — and reads like the output of a profiler that happens to
+// know the chronology.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"exist/internal/binary"
+	"exist/internal/decode"
+	"exist/internal/kernel"
+	"exist/internal/simtime"
+	"exist/internal/trace"
+)
+
+// Options controls report contents.
+type Options struct {
+	// TopFuncs bounds the hottest-function list (default 10).
+	TopFuncs int
+	// GapThreshold flags threads scheduled out longer than this as
+	// anomalies (default 100 ms).
+	GapThreshold simtime.Duration
+	// Syscalls names PTWRITE operands as syscalls using this table
+	// (nil: kernel.DefaultSyscallTable).
+	Syscalls []kernel.SyscallSpec
+}
+
+// Build renders the behaviour report.
+func Build(rec *decode.Result, prog *binary.Program, sess *trace.Session, opt Options) string {
+	if opt.TopFuncs <= 0 {
+		opt.TopFuncs = 10
+	}
+	if opt.GapThreshold <= 0 {
+		opt.GapThreshold = 100 * simtime.Millisecond
+	}
+	if opt.Syscalls == nil {
+		opt.Syscalls = kernel.DefaultSyscallTable()
+	}
+	var b strings.Builder
+	header(&b, rec, sess)
+	hotFunctions(&b, rec, prog, opt.TopFuncs)
+	categories(&b, rec)
+	memWidths(&b, rec)
+	threads(&b, rec, sess, opt)
+	anomalies(&b, rec, sess, opt)
+	return b.String()
+}
+
+func header(b *strings.Builder, rec *decode.Result, sess *trace.Session) {
+	fmt.Fprintf(b, "EXIST behaviour report — %s\n", sess.Workload)
+	fmt.Fprintf(b, "window: %v starting at %v; %d five-tuple records; %.1f MB trace\n",
+		sess.Duration(), sess.Start, len(sess.Switches.Records), sess.SpaceMB())
+	stopped := 0
+	for _, c := range sess.Cores {
+		if c.Stopped {
+			stopped++
+		}
+	}
+	fmt.Fprintf(b, "reconstruction: %d control-flow events, %d blocks, %d threads",
+		rec.Events, rec.Blocks, len(rec.ByThread))
+	if stopped > 0 {
+		fmt.Fprintf(b, " (%d/%d buffers hit the compulsory-drop threshold)", stopped, len(sess.Cores))
+	}
+	b.WriteString("\n\n")
+}
+
+func hotFunctions(b *strings.Builder, rec *decode.Result, prog *binary.Program, top int) {
+	type fc struct {
+		name string
+		n    int64
+	}
+	var hot []fc
+	var total int64
+	for fn, n := range rec.FuncEntries {
+		hot = append(hot, fc{prog.Funcs[fn].Name, n})
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].name < hot[j].name
+	})
+	b.WriteString("hottest functions (traced call entries):\n")
+	for i, f := range hot {
+		if i >= top {
+			break
+		}
+		frac := float64(f.n) / float64(total)
+		fmt.Fprintf(b, "  %5.1f%% %s %s\n", frac*100, bar(frac, 30), f.name)
+	}
+	b.WriteString("\n")
+}
+
+func categories(b *strings.Builder, rec *decode.Result) {
+	groups := []struct {
+		name string
+		cats []binary.FuncCategory
+	}{
+		{"memory", []binary.FuncCategory{binary.CatMemJE, binary.CatMemTC, binary.CatMemAlloc,
+			binary.CatMemFree, binary.CatMemCopy, binary.CatMemSet, binary.CatMemCmp, binary.CatMemMove}},
+		{"synchronization", []binary.FuncCategory{binary.CatSyncAtomic, binary.CatSyncSpinlock,
+			binary.CatSyncMutex, binary.CatSyncCAS}},
+		{"kernel", []binary.FuncCategory{binary.CatKernelSche, binary.CatKernelIRQ, binary.CatKernelNet}},
+	}
+	if rec.Blocks == 0 {
+		return
+	}
+	b.WriteString("costly-category execution share (of visited blocks):\n")
+	for _, g := range groups {
+		var n int64
+		leaders := make([]string, 0, 2)
+		var lead int64
+		var leadName string
+		for _, c := range g.cats {
+			n += rec.CatHits[c]
+			if rec.CatHits[c] > lead {
+				lead, leadName = rec.CatHits[c], c.String()
+			}
+		}
+		frac := float64(n) / float64(rec.Blocks)
+		if leadName != "" {
+			leaders = append(leaders, fmt.Sprintf("led by %s", leadName))
+		}
+		fmt.Fprintf(b, "  %-16s %5.1f%% %s\n", g.name, frac*100, strings.Join(leaders, " "))
+	}
+	b.WriteString("\n")
+}
+
+func memWidths(b *strings.Builder, rec *decode.Result) {
+	var total int64
+	var wide int64
+	for cls := 0; cls < binary.NumMemClasses; cls++ {
+		for w := 0; w < 4; w++ {
+			total += rec.MemOps[cls][w]
+		}
+		wide += rec.MemOps[cls][3]
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(b, "memory accesses: %d observed, %.0f%% quad-width (8-byte)\n\n",
+		total, float64(wide)/float64(total)*100)
+}
+
+// threadView is per-thread evidence derived from the reconstruction and
+// the five-tuple sidecar.
+type threadView struct {
+	tid     int32
+	events  int
+	maxGap  simtime.Duration
+	gapFrom simtime.Time
+	absent  bool
+}
+
+func threadViews(rec *decode.Result, sess *trace.Session) []threadView {
+	views := map[int32]*threadView{}
+	get := func(tid int32) *threadView {
+		v := views[tid]
+		if v == nil {
+			v = &threadView{tid: tid}
+			views[tid] = v
+		}
+		return v
+	}
+	for tid, evs := range rec.ByThread {
+		get(tid).events = len(evs)
+	}
+	records := append([]kernel.SwitchRecord(nil), sess.Switches.Records...)
+	sort.Slice(records, func(i, j int) bool { return records[i].TS < records[j].TS })
+	lastOut := map[int32]simtime.Time{}
+	for _, r := range records {
+		switch r.Op {
+		case kernel.OpOut:
+			lastOut[r.TID] = r.TS
+		case kernel.OpIn:
+			if out, ok := lastOut[r.TID]; ok {
+				v := get(r.TID)
+				if d := r.TS - out; d > v.maxGap {
+					v.maxGap, v.gapFrom = d, out
+				}
+				delete(lastOut, r.TID)
+			} else {
+				get(r.TID) // thread seen
+			}
+		}
+	}
+	// Unreturned threads are still blocked at window end.
+	for tid, out := range lastOut {
+		v := get(tid)
+		if d := sess.End - out; d > v.maxGap {
+			v.maxGap, v.gapFrom = d, out
+			v.absent = v.events == 0
+		}
+	}
+	out := make([]threadView, 0, len(views))
+	for _, v := range views {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tid < out[j].tid })
+	return out
+}
+
+func threads(b *strings.Builder, rec *decode.Result, sess *trace.Session, opt Options) {
+	views := threadViews(rec, sess)
+	if len(views) == 0 {
+		return
+	}
+	b.WriteString("per-thread chronology:\n")
+	for _, v := range views {
+		if v.tid < 0 {
+			fmt.Fprintf(b, "  (unattributed) %8d events\n", v.events)
+			continue
+		}
+		line := fmt.Sprintf("  thread %-4d %8d events", v.tid, v.events)
+		if v.maxGap > 0 {
+			line += fmt.Sprintf(", longest off-CPU gap %v (from %v)", v.maxGap, v.gapFrom)
+		}
+		b.WriteString(line + "\n")
+	}
+	b.WriteString("\n")
+}
+
+func anomalies(b *strings.Builder, rec *decode.Result, sess *trace.Session, opt Options) {
+	var notes []string
+	for _, v := range threadViews(rec, sess) {
+		if v.tid >= 0 && v.maxGap >= opt.GapThreshold {
+			notes = append(notes, fmt.Sprintf(
+				"thread %d left the CPU at %v and stayed away for %v — look for a blocking call",
+				v.tid, v.gapFrom, v.maxGap))
+		}
+	}
+	// PTWRITE operands name the syscalls directly when present.
+	counts := map[uint64]int{}
+	for _, ptw := range rec.PTWrites {
+		counts[ptw.Val]++
+	}
+	type kv struct {
+		val uint64
+		n   int
+	}
+	var ks []kv
+	for v, n := range counts {
+		ks = append(ks, kv{v, n})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].n > ks[j].n })
+	if len(ks) > 0 {
+		parts := make([]string, 0, 4)
+		for i, k := range ks {
+			if i >= 4 {
+				break
+			}
+			name := fmt.Sprintf("class %d", k.val)
+			if int(k.val) < len(opt.Syscalls) {
+				name = opt.Syscalls[k.val].Name
+			}
+			parts = append(parts, fmt.Sprintf("%s x%d", name, k.n))
+		}
+		notes = append(notes, "traced syscall activity (PTWRITE): "+strings.Join(parts, ", "))
+	}
+	for _, e := range rec.Errors {
+		if !strings.Contains(e, "truncated") {
+			notes = append(notes, "decode: "+e)
+		}
+	}
+	if len(notes) == 0 {
+		return
+	}
+	b.WriteString("findings:\n")
+	for _, n := range notes {
+		b.WriteString("  - " + n + "\n")
+	}
+}
+
+// bar renders a proportional ASCII bar.
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
+}

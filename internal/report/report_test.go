@@ -1,0 +1,146 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"exist/internal/binary"
+	"exist/internal/core"
+	"exist/internal/decode"
+	"exist/internal/ipt"
+	"exist/internal/kernel"
+	"exist/internal/sched"
+	"exist/internal/simtime"
+	"exist/internal/trace"
+	"exist/internal/workload"
+	"exist/internal/xrand"
+)
+
+// buildSession traces a small walker workload with EXIST and returns all
+// report inputs.
+func buildSession(t *testing.T) (*decode.Result, *binary.Program, *trace.Session) {
+	t.Helper()
+	mcfg := sched.DefaultConfig()
+	mcfg.Cores = 4
+	mcfg.HTSiblings = false
+	mcfg.Seed = 5
+	mcfg.Timeslice = 500 * simtime.Microsecond
+	m := sched.NewMachine(mcfg)
+	m.EmitPTWrites = true
+
+	p, err := workload.ByName("mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := p.Synthesize(5)
+	proc := p.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: 5})
+	// One thread that blocks for a long time mid-window, to exercise the
+	// findings section.
+	w := make([]float64, int(kernel.NumSyscallClasses))
+	w[kernel.SysNanosleep] = 1
+	m.SpawnThread(proc, sched.NewWalkerExec(prog, xrand.New(9), mcfg.Cost, trace.SpaceScale).
+		WithPacing(30*simtime.Millisecond, w))
+
+	m.Run(50 * simtime.Millisecond)
+	ctrl := core.NewController(m)
+	ccfg := core.DefaultConfig()
+	ccfg.Period = 200 * simtime.Millisecond
+	ccfg.Scale = trace.SpaceScale
+	ccfg.Ctl = ipt.DefaultCtl() | ipt.CtlPTWEn
+	ccfg.Seed = 5
+	sess, err := ctrl.Trace(proc, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(300 * simtime.Millisecond)
+	res, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decode.Decode(res, prog), prog, res
+}
+
+func TestBuildReport(t *testing.T) {
+	rec, prog, sess := buildSession(t)
+	out := Build(rec, prog, sess, Options{})
+	for _, want := range []string{
+		"EXIST behaviour report — mc",
+		"window: 200.000ms",
+		"hottest functions",
+		"costly-category execution share",
+		"per-thread chronology",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Some function name from the binary must appear.
+	found := false
+	for _, f := range prog.Funcs {
+		if strings.Contains(out, f.Name) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no function names in report:\n%s", out)
+	}
+}
+
+func TestReportFindsSyscallActivity(t *testing.T) {
+	rec, prog, sess := buildSession(t)
+	if len(rec.PTWrites) == 0 {
+		t.Skip("no PTWRITEs captured in this window")
+	}
+	out := Build(rec, prog, sess, Options{})
+	if !strings.Contains(out, "traced syscall activity (PTWRITE)") {
+		t.Fatalf("PTWRITE findings missing:\n%s", out)
+	}
+}
+
+func TestReportTopFuncsBound(t *testing.T) {
+	rec, prog, sess := buildSession(t)
+	out := Build(rec, prog, sess, Options{TopFuncs: 3})
+	lines := 0
+	inHot := false
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "hottest functions") {
+			inHot = true
+			continue
+		}
+		if inHot {
+			if strings.TrimSpace(l) == "" {
+				break
+			}
+			lines++
+		}
+	}
+	if lines > 3 {
+		t.Fatalf("TopFuncs=3 but %d lines listed", lines)
+	}
+}
+
+func TestBarRendering(t *testing.T) {
+	if got := bar(0, 10); got != "[..........]" {
+		t.Fatalf("bar(0) = %q", got)
+	}
+	if got := bar(1, 10); got != "[##########]" {
+		t.Fatalf("bar(1) = %q", got)
+	}
+	if got := bar(2, 10); got != "[##########]" {
+		t.Fatalf("bar(>1) must clamp: %q", got)
+	}
+	if got := bar(0.5, 10); got != "[#####.....]" {
+		t.Fatalf("bar(0.5) = %q", got)
+	}
+}
+
+func TestEmptyReportInputs(t *testing.T) {
+	prog := binary.Synthesize(binary.DefaultSpec("empty", 1))
+	rec := decode.DecodeStream(prog, nil, 0, nil)
+	sess := &trace.Session{Workload: "empty", Scale: 1}
+	out := Build(rec, prog, sess, Options{})
+	if !strings.Contains(out, "EXIST behaviour report — empty") {
+		t.Fatalf("header missing for empty input:\n%s", out)
+	}
+}

@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"fmt"
+
+	"exist/internal/binary"
+	"exist/internal/simtime"
+)
+
+// enqueue makes t runnable and places it on a core's runqueue.
+func (m *Machine) enqueue(t *Thread, now simtime.Time) {
+	if t.queued || t.State == Running {
+		return
+	}
+	t.State = Runnable
+	t.queued = true
+	coreID := m.pickCore(t)
+	if t.lastCore >= 0 && coreID != t.lastCore {
+		t.Stats.Migrations++
+		m.Stats.Migrations++
+	}
+	t.lastCore = coreID
+	c := m.Cores[coreID]
+	c.runq = append(c.runq, t)
+	m.kickDispatch(c, now)
+}
+
+// requeueLocal puts a preempted thread back at the tail of its own core's
+// queue (no migration).
+func (m *Machine) requeueLocal(c *Core, t *Thread) {
+	t.State = Runnable
+	t.queued = true
+	c.runq = append(c.runq, t)
+}
+
+// pickCore selects a core for a waking thread: last-core affinity first,
+// then any idle allowed core, then the least-loaded allowed core.
+func (m *Machine) pickCore(t *Thread) int {
+	allowed := t.Proc.Allowed
+	if t.lastCore >= 0 && containsCore(allowed, t.lastCore) {
+		// Wake-affinity: stay on the cache-hot core unless it is
+		// meaningfully loaded (CFS-like). This is also why CPU-share
+		// processes "tend to execute on a few cores" (§5.2), which is
+		// what makes UMA's core sampling cheap.
+		c := m.Cores[t.lastCore]
+		if len(c.runq) == 0 {
+			return t.lastCore
+		}
+	}
+	best, bestLoad := -1, 1<<30
+	for _, id := range allowed {
+		c := m.Cores[id]
+		load := len(c.runq)
+		if c.cur != nil {
+			load++
+		}
+		if load == 0 {
+			return id
+		}
+		if load < bestLoad {
+			bestLoad, best = load, id
+		}
+	}
+	// Prefer affinity on load ties.
+	if t.lastCore >= 0 && containsCore(allowed, t.lastCore) {
+		c := m.Cores[t.lastCore]
+		load := len(c.runq)
+		if c.cur != nil {
+			load++
+		}
+		if load <= bestLoad {
+			return t.lastCore
+		}
+	}
+	return best
+}
+
+func containsCore(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// kickDispatch arranges for the core to pick new work at the given time.
+func (m *Machine) kickDispatch(c *Core, at simtime.Time) {
+	if c.dispatchPending || c.cur != nil {
+		return
+	}
+	c.dispatchPending = true
+	m.Eng.Schedule(at, func(now simtime.Time) {
+		c.dispatchPending = false
+		m.dispatch(c, now)
+	})
+}
+
+// dispatch picks the next thread for an idle core, or completes the
+// transition to the idle task.
+func (m *Machine) dispatch(c *Core, now simtime.Time) {
+	if c.cur != nil {
+		return
+	}
+	if len(c.runq) == 0 {
+		if c.prev != nil {
+			m.contextSwitch(c, nil, now)
+		}
+		return
+	}
+	next := c.runq[0]
+	c.runq = c.runq[1:]
+	next.queued = false
+	m.contextSwitch(c, next, now)
+}
+
+// contextSwitch performs the sched_switch from the core's previous thread
+// to next (nil = idle), charging switch cost and hook costs, firing the
+// tracepoint hooks, and informing the core's PT tracer of the CR3 change.
+func (m *Machine) contextSwitch(c *Core, next *Thread, now simtime.Time) {
+	prev := c.prev
+	if prev == next && next != nil {
+		// Same thread resuming: not a switch.
+		c.cur = next
+		next.State = Running
+		m.startSegment(c, next, now)
+		return
+	}
+	cost := m.Cfg.Cost.ContextSwitch
+	ev := SwitchEvent{Now: now, Core: c, Prev: prev, Next: next}
+	for _, h := range m.SwitchHooks {
+		cost += h(ev)
+	}
+	c.KernelNS += cost
+	c.Switches++
+	m.Stats.Switches++
+	m.recordSwitchPeriods(c, next, now)
+	c.prev = next
+	if next == nil {
+		// Hardware sees the kernel/idle address space.
+		c.Tracer.ContextSwitch(now+cost, 0, 0)
+		return
+	}
+	c.Tracer.ContextSwitch(now+cost, next.Proc.CR3, next.Exec.CurrentIP())
+	next.State = Running
+	next.Stats.Switches++
+	// The switch cost delays the incoming thread; charging it there makes
+	// per-switch tracing control visible in the thread's CPI.
+	next.Stats.KernelTime += cost
+	next.lastCore = c.ID
+	c.cur = next
+	m.startSegment(c, next, now+cost)
+}
+
+// recordSwitchPeriods samples the Figure 8 distributions.
+func (m *Machine) recordSwitchPeriods(c *Core, next *Thread, now simtime.Time) {
+	if !m.Cfg.CollectSwitchPeriods {
+		return
+	}
+	if m.lastSwitchAt > 0 {
+		m.Stats.SwitchPeriodsAll = append(m.Stats.SwitchPeriodsAll, (now - m.lastSwitchAt).Millis())
+	}
+	m.lastSwitchAt = now
+	if c.lastSwitchAt > 0 {
+		m.Stats.SwitchPeriodsByCore = append(m.Stats.SwitchPeriodsByCore, (now - c.lastSwitchAt).Millis())
+	}
+	c.lastSwitchAt = now
+	if next != nil {
+		p := next.Proc
+		if p.lastSwitchAt > 0 {
+			m.Stats.SwitchPeriodsByProc = append(m.Stats.SwitchPeriodsByProc, (now - p.lastSwitchAt).Millis())
+		}
+		p.lastSwitchAt = now
+	}
+}
+
+// interference computes the execution inflation for a segment starting on
+// core c: hyperthread-sibling contention, time-sharing pollution, and LLC
+// sharing with other processes in the same cache domain.
+func (m *Machine) interference(c *Core, t *Thread) float64 {
+	cost := m.Cfg.Cost
+	f := 1.0
+	if c.Sibling >= 0 && c.Sibling < len(m.Cores) && m.Cores[c.Sibling].cur != nil {
+		f *= cost.HTShare
+	}
+	if len(c.runq) > 0 {
+		f *= cost.CoreShare
+	}
+	for _, other := range m.Cores {
+		if other.ID == c.ID || other.LLC != c.LLC {
+			continue
+		}
+		if other.cur != nil && other.cur.Proc != t.Proc {
+			f *= cost.LLCShare
+			break
+		}
+	}
+	return f
+}
+
+// startSegment runs one bounded execution segment for the core's current
+// thread and schedules its completion.
+func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
+	factor := m.interference(c, t)
+	rate := m.Cfg.Cost.FrequencyGHz / factor
+	tracingActive := c.Tracer.Enabled() && c.Tracer.ContextOn()
+
+	var emit func(binary.BranchEvent)
+	tracerListening := tracingActive
+	if tracerListening || m.Listener != nil {
+		tracer := c.Tracer
+		listener := m.Listener
+		thread := t
+		emit = func(ev binary.BranchEvent) {
+			if tracerListening {
+				tracer.OnBranch(now, ev)
+			}
+			if listener != nil {
+				listener(thread, now, ev)
+			}
+		}
+	}
+
+	ctx := RunContext{
+		Core:          c,
+		Start:         now,
+		MaxNS:         m.Cfg.Timeslice,
+		CyclesPerNS:   rate,
+		TracingActive: tracingActive,
+		Emit:          emit,
+	}
+	res := t.Exec.Run(&ctx)
+	if res.UsedNS <= 0 {
+		panic(fmt.Sprintf("sched: exec for %s returned non-positive segment", t.Proc.Name))
+	}
+	if res.BulkCond+res.BulkInd > 0 && tracingActive {
+		c.Tracer.OnBulkBranches(now, res.BulkCond, res.BulkInd)
+	}
+
+	var stall simtime.Duration
+	for _, h := range m.StallHooks {
+		stall += h(c, now, res.UsedNS)
+	}
+	c.BusyNS += res.UsedNS
+	c.KernelNS += stall
+	// Stalls (sampling interrupts, trace hauling) interrupt the running
+	// thread, so they surface in its CPI like any other kernel time.
+	t.Stats.KernelTime += stall
+	t.Stats.CPUTime += res.UsedNS
+	t.Stats.Cycles += res.Cycles
+	t.Stats.Insns += res.Insns
+	t.Stats.Branches += res.Branches
+
+	m.Eng.Schedule(now+res.UsedNS+stall, func(end simtime.Time) {
+		m.segmentEnd(c, t, res, end)
+	})
+}
+
+// segmentEnd handles a completed segment: syscall processing, blocking,
+// preemption, or continuation.
+func (m *Machine) segmentEnd(c *Core, t *Thread, res RunResult, now simtime.Time) {
+	if c.cur != t {
+		panic("sched: segment completion for a thread no longer on its core")
+	}
+	c.cur = nil
+
+	if res.Stop == binary.StopSyscall {
+		spec := m.Syscall(res.SyscallClass)
+		if m.EmitPTWrites {
+			c.Tracer.PTWrite(now, uint64(res.SyscallClass))
+		}
+		cost := spec.Cost + m.Cfg.Cost.SyscallBase
+		ev := SyscallEvent{Now: now, Core: c, Thread: t, Class: res.SyscallClass}
+		for _, h := range m.SyscallHooks {
+			cost += h(ev)
+		}
+		c.KernelNS += cost
+		t.Stats.KernelTime += cost
+		t.Stats.Syscalls++
+
+		if t.rng.Bool(spec.BlockProb) {
+			dur := spec.BlockDuration(t.rng)
+			t.State = Blocked
+			m.Eng.Schedule(now+cost+dur, func(wake simtime.Time) {
+				m.enqueue(t, wake)
+			})
+			m.kickDispatch(c, now+cost)
+			return
+		}
+		// Non-blocking syscall: return to user mode; syscall exit is a
+		// natural preemption point when others wait.
+		if len(c.runq) > 0 {
+			m.requeueLocal(c, t)
+			m.kickDispatch(c, now+cost)
+			return
+		}
+		c.cur = t
+		m.startSegment(c, t, now+cost)
+		return
+	}
+
+	// Timeslice exhausted.
+	if len(c.runq) > 0 {
+		m.requeueLocal(c, t)
+		m.kickDispatch(c, now)
+		return
+	}
+	c.cur = t
+	m.startSegment(c, t, now)
+}

@@ -1,0 +1,255 @@
+// Package service simulates a microservice RPC chain — the DeathStarBench
+// ComposePost-style request path used for the paper's end-to-end
+// experiments (Figures 3b and 16, and the online throughput comparison of
+// Figure 14).
+//
+// The model is a tandem queueing network: each tier has a worker pool and
+// log-normal service times; a request visits the first tier and each tier
+// makes a configurable number of *sequential* downstream calls (the paper
+// notes tens of RPCs between two services for one request, which is what
+// amplifies single-service tracing overhead into large end-to-end
+// slowdowns). A tracing scheme appears as an Overhead on one tier:
+// multiplicative service inflation plus occasional stall spikes
+// (sampling interrupts, buffer hauling) — exactly the node-level effects
+// measured on the scheduler substrate.
+package service
+
+import (
+	"exist/internal/metrics"
+	"exist/internal/simtime"
+	"exist/internal/xrand"
+)
+
+// TierSpec describes one service tier.
+type TierSpec struct {
+	// Name labels the tier.
+	Name string
+	// Workers is the concurrent server pool size.
+	Workers int
+	// MeanService is the mean per-visit service time.
+	MeanService simtime.Duration
+	// CV is the service time's coefficient of variation.
+	CV float64
+	// CallsToNext is the number of sequential RPCs this tier makes to the
+	// next tier per visit (ignored for the last tier).
+	CallsToNext int
+}
+
+// ChainSpec describes the whole request path.
+type ChainSpec struct {
+	// Tiers is ordered from frontend to backend.
+	Tiers []TierSpec
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// ComposePostChain returns the three-tier chain used by the end-to-end
+// experiments: Proxy -> Logic -> DB with three DB calls per logic visit.
+//
+// The model is one service *instance* with small worker pools (as on the
+// paper's DeathStarBench deployment, where pools are bounded by cores):
+// per-instance capacity is ~1.1e3 requests/s and the idle response time is
+// ~22 ms, matching Figure 16's axis. The paper's cluster-wide load points
+// (1e2..1e5 requests/s) map onto one instance by dividing by the
+// deployment width; see InstanceRate.
+func ComposePostChain(seed uint64) ChainSpec {
+	return ChainSpec{
+		Seed: seed,
+		Tiers: []TierSpec{
+			{Name: "Proxy", Workers: 4, MeanService: 3800 * simtime.Microsecond, CV: 0.8, CallsToNext: 1},
+			{Name: "Logic", Workers: 8, MeanService: 7600 * simtime.Microsecond, CV: 1.0, CallsToNext: 3},
+			{Name: "DB", Workers: 12, MeanService: 3800 * simtime.Microsecond, CV: 1.2},
+		},
+	}
+}
+
+// DeploymentWidth is the number of service instances the cluster-wide
+// load is spread over when mapping the paper's load axis onto one
+// simulated instance.
+const DeploymentWidth = 100
+
+// InstanceRate converts a cluster-wide request rate (the paper's
+// "Load=1eN") to one instance's arrival rate.
+func InstanceRate(clusterLoad float64) float64 { return clusterLoad / DeploymentWidth }
+
+// Overhead is a tracing scheme's effect on one tier.
+type Overhead struct {
+	// Tier indexes ChainSpec.Tiers.
+	Tier int
+	// Frac is the multiplicative service-time inflation (0.02 = 2%).
+	Frac float64
+	// SpikeProb is the per-visit probability of an extra stall.
+	SpikeProb float64
+	// Spike is the stall duration.
+	Spike simtime.Duration
+}
+
+// Result reports one run.
+type Result struct {
+	// Completed counts finished requests.
+	Completed int
+	// Dropped counts requests still in flight at the deadline.
+	Dropped int
+	// ThroughputRPS is completed / duration.
+	ThroughputRPS float64
+	// RTms holds completed request response times in milliseconds.
+	RTms []float64
+	// Summary is the percentile summary of RTms.
+	Summary metrics.Summary
+}
+
+// tier is runtime queue state.
+type tier struct {
+	spec  TierSpec
+	infl  float64
+	spike Overhead
+	busy  int
+	queue []func(now simtime.Time)
+}
+
+// chain is one simulation instance.
+type chain struct {
+	eng   *simtime.Engine
+	seed  uint64
+	tiers []*tier
+}
+
+func newChain(spec ChainSpec, ov []Overhead) *chain {
+	c := &chain{
+		eng:  simtime.NewEngine(),
+		seed: spec.Seed,
+	}
+	for _, ts := range spec.Tiers {
+		c.tiers = append(c.tiers, &tier{spec: ts, infl: 1})
+	}
+	for _, o := range ov {
+		if o.Tier >= 0 && o.Tier < len(c.tiers) {
+			c.tiers[o.Tier].infl = 1 + o.Frac
+			c.tiers[o.Tier].spike = o
+		}
+	}
+	return c
+}
+
+// serve queues one visit on a tier; done runs when service completes.
+// Service times are drawn from the request's own stream (common random
+// numbers): runs that differ only in tracing overhead see identical
+// baseline draws, so slowdown comparisons are paired.
+func (c *chain) serve(t *tier, rng *xrand.Rand, now simtime.Time, done func(now simtime.Time)) {
+	start := func(at simtime.Time) {
+		dur := simtime.Duration(rng.LogNormal(float64(t.spec.MeanService)*t.infl, t.spec.CV))
+		if dur < simtime.Microsecond {
+			dur = simtime.Microsecond
+		}
+		if t.spike.SpikeProb > 0 && rng.Bool(t.spike.SpikeProb) {
+			dur += t.spike.Spike
+		}
+		c.eng.Schedule(at+dur, func(end simtime.Time) {
+			t.busy--
+			if len(t.queue) > 0 {
+				next := t.queue[0]
+				t.queue = t.queue[1:]
+				t.busy++
+				next(end)
+			}
+			done(end)
+		})
+	}
+	if t.busy < t.spec.Workers {
+		t.busy++
+		start(now)
+		return
+	}
+	t.queue = append(t.queue, start)
+}
+
+// visit runs a request through tier i and its downstream calls.
+func (c *chain) visit(i int, rng *xrand.Rand, now simtime.Time, done func(now simtime.Time)) {
+	t := c.tiers[i]
+	c.serve(t, rng, now, func(end simtime.Time) {
+		c.calls(i, rng, t.spec.CallsToNext, end, done)
+	})
+}
+
+// calls issues the remaining sequential downstream RPCs.
+func (c *chain) calls(i int, rng *xrand.Rand, remaining int, now simtime.Time, done func(now simtime.Time)) {
+	if i+1 >= len(c.tiers) || remaining <= 0 {
+		done(now)
+		return
+	}
+	c.visit(i+1, rng, now, func(end simtime.Time) {
+		c.calls(i, rng, remaining-1, end, done)
+	})
+}
+
+// RunOpenLoop drives the chain with Poisson arrivals at ratePerSec for
+// dur, then drains up to 5x dur. Requests still unfinished at the drain
+// deadline count as dropped.
+func RunOpenLoop(spec ChainSpec, ratePerSec float64, dur simtime.Duration, ov []Overhead) Result {
+	c := newChain(spec, ov)
+	res := Result{}
+	arr := xrand.Split(spec.Seed, "service/arrivals")
+	idx := 0
+	var schedule func(at simtime.Time)
+	schedule = func(at simtime.Time) {
+		if at >= dur {
+			return
+		}
+		c.eng.Schedule(at, func(now simtime.Time) {
+			begin := now
+			rng := xrand.SplitN(c.seed, "service/req", idx)
+			idx++
+			c.visit(0, rng, now, func(end simtime.Time) {
+				res.Completed++
+				res.RTms = append(res.RTms, (end - begin).Millis())
+			})
+			schedule(now + simtime.Duration(arr.Exp(1e9/ratePerSec)))
+		})
+	}
+	schedule(simtime.Duration(arr.Exp(1e9 / ratePerSec)))
+	c.eng.RunUntil(dur * 5)
+	res.Dropped = int(c.inFlight())
+	res.ThroughputRPS = float64(res.Completed) / dur.Seconds()
+	res.Summary = metrics.Summarize(res.RTms)
+	return res
+}
+
+// RunClosedLoop drives the chain with a fixed client population for dur;
+// each client reissues immediately on completion. Throughput under a
+// closed loop is the online-benchmark metric of Figure 14.
+func RunClosedLoop(spec ChainSpec, clients int, dur simtime.Duration, ov []Overhead) Result {
+	c := newChain(spec, ov)
+	res := Result{}
+	idx := 0
+	var issue func(at simtime.Time)
+	issue = func(at simtime.Time) {
+		c.eng.Schedule(at, func(now simtime.Time) {
+			begin := now
+			rng := xrand.SplitN(c.seed, "service/req", idx)
+			idx++
+			c.visit(0, rng, now, func(end simtime.Time) {
+				if end < dur {
+					res.Completed++
+					res.RTms = append(res.RTms, (end - begin).Millis())
+					issue(end)
+				}
+			})
+		})
+	}
+	for i := 0; i < clients; i++ {
+		issue(simtime.Duration(i) * simtime.Microsecond)
+	}
+	c.eng.RunUntil(dur)
+	res.ThroughputRPS = float64(res.Completed) / dur.Seconds()
+	res.Summary = metrics.Summarize(res.RTms)
+	return res
+}
+
+// inFlight counts visits queued or being served.
+func (c *chain) inFlight() int64 {
+	var n int64
+	for _, t := range c.tiers {
+		n += int64(t.busy) + int64(len(t.queue))
+	}
+	return n
+}

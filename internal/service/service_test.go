@@ -1,0 +1,95 @@
+package service
+
+import (
+	"testing"
+
+	"exist/internal/simtime"
+)
+
+func TestOpenLoopLowLoad(t *testing.T) {
+	spec := ComposePostChain(1)
+	res := RunOpenLoop(spec, InstanceRate(1e4), 4*simtime.Second, nil)
+	if res.Completed < 300 || res.Completed > 500 {
+		t.Fatalf("completed = %d at 100 rps for 4s", res.Completed)
+	}
+	if res.Dropped > 5 {
+		t.Fatalf("dropped = %d at trivial load", res.Dropped)
+	}
+	// Idle RT is roughly the sum of service demands:
+	// 3.8 + 7.6 + 3*3.8 = 22.8 ms mean-ish (Figure 16's oracle level).
+	if res.Summary.P50 < 10 || res.Summary.P50 > 40 {
+		t.Fatalf("p50 = %.2fms implausible for idle chain", res.Summary.P50)
+	}
+}
+
+func TestOpenLoopQueueingGrowsWithLoad(t *testing.T) {
+	spec := ComposePostChain(2)
+	low := RunOpenLoop(spec, InstanceRate(1e4), 4*simtime.Second, nil)
+	high := RunOpenLoop(spec, InstanceRate(1e5), 4*simtime.Second, nil)
+	if high.Summary.P99 <= low.Summary.P99*1.3 {
+		t.Fatalf("p99 must grow with load: %.2f vs %.2f", low.Summary.P99, high.Summary.P99)
+	}
+}
+
+func TestOverheadAmplification(t *testing.T) {
+	// The Figure 3b phenomenon: ~2% single-tier overhead produces far
+	// more than 2% tail degradation near saturation.
+	spec := ComposePostChain(3)
+	ov := []Overhead{{Tier: 1, Frac: 0.02, SpikeProb: 0.02, Spike: 4 * simtime.Millisecond}}
+	base := RunOpenLoop(spec, InstanceRate(1e5), 8*simtime.Second, nil)
+	traced := RunOpenLoop(spec, InstanceRate(1e5), 8*simtime.Second, ov)
+	slow := traced.Summary.P99/base.Summary.P99 - 1
+	if slow < 0.05 {
+		t.Fatalf("tail amplification = %.3f, want >> 2%%", slow)
+	}
+	// And at low load the same overhead matters much less (relative to
+	// the high-load amplification).
+	baseLow := RunOpenLoop(spec, InstanceRate(1e4), 8*simtime.Second, nil)
+	tracedLow := RunOpenLoop(spec, InstanceRate(1e4), 8*simtime.Second, ov)
+	slowLow := tracedLow.Summary.P99/baseLow.Summary.P99 - 1
+	if slowLow > slow {
+		t.Fatalf("low-load slowdown %.3f exceeds high-load %.3f", slowLow, slow)
+	}
+}
+
+func TestClosedLoopThroughputDegrades(t *testing.T) {
+	spec := ComposePostChain(4)
+	base := RunClosedLoop(spec, 48, 4*simtime.Second, nil)
+	// 48 clients saturate a ~1.1e3 rps instance.
+	if base.ThroughputRPS < 500 {
+		t.Fatalf("closed loop throughput = %.0f implausibly low", base.ThroughputRPS)
+	}
+	traced := RunClosedLoop(spec, 48, 4*simtime.Second, []Overhead{
+		{Tier: 1, Frac: 0.05, SpikeProb: 0.05, Spike: 4 * simtime.Millisecond},
+	})
+	loss := 1 - traced.ThroughputRPS/base.ThroughputRPS
+	if loss <= 0.02 {
+		t.Fatalf("throughput loss = %.4f, want noticeable for 5%% inflation", loss)
+	}
+	if loss > 0.5 {
+		t.Fatalf("throughput loss = %.4f implausibly high", loss)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := ComposePostChain(5)
+	a := RunOpenLoop(spec, 500, 1*simtime.Second, nil)
+	b := RunOpenLoop(spec, 500, 1*simtime.Second, nil)
+	if a.Completed != b.Completed || a.Summary.P99 != b.Summary.P99 {
+		t.Fatal("open-loop runs are not deterministic")
+	}
+}
+
+func TestOverheadOnInvalidTierIgnored(t *testing.T) {
+	spec := ComposePostChain(6)
+	res := RunOpenLoop(spec, 200, 500*simtime.Millisecond, []Overhead{{Tier: 99, Frac: 10}})
+	if res.Completed == 0 {
+		t.Fatal("run with out-of-range overhead tier failed")
+	}
+}
+
+func TestInstanceRate(t *testing.T) {
+	if InstanceRate(1e4) != 100 {
+		t.Fatalf("InstanceRate(1e4) = %v", InstanceRate(1e4))
+	}
+}

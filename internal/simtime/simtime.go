@@ -1,0 +1,193 @@
+// Package simtime provides the virtual clock and discrete-event engine that
+// every simulated substrate in this repository is built on.
+//
+// All simulation time is virtual: a Time is a count of simulated nanoseconds
+// since the start of the run. Nothing in this package (or in any simulation
+// built on it) reads the wall clock, which keeps every experiment
+// deterministic and reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring package time but for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback in an Engine. Events are created by
+// Engine.Schedule and may be cancelled until they fire.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func(now Time)
+	index  int // heap index; -1 once fired or cancelled
+	engine *Engine
+}
+
+// At returns the virtual time the event is scheduled to fire at.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Cancel removes the event from its engine's queue. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&e.engine.queue, e.index)
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq). The seq tiebreak
+// makes simultaneous events fire in scheduling order, which keeps runs
+// deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine: a virtual clock plus a queue
+// of timed callbacks. The zero value is ready to use and starts at time 0.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+}
+
+// NewEngine returns an engine whose clock starts at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule queues fn to run at the absolute virtual time at. Scheduling in
+// the past (at < Now) panics: the simulated past is immutable, and silently
+// warping an event forward would hide bugs in the caller.
+func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func(now Time)) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// PeekTime returns the time of the earliest pending event, or ok=false when
+// the queue is empty.
+func (e *Engine) PeekTime() (t Time, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is after deadline, then advances the clock to deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Advance moves the clock forward by d without firing events. It panics if
+// an event is pending before the new time; use RunUntil to process events.
+func (e *Engine) Advance(d Duration) {
+	target := e.now + d
+	if t, ok := e.PeekTime(); ok && t < target {
+		panic(fmt.Sprintf("simtime: Advance(%v) would skip event at %v", d, t))
+	}
+	e.now = target
+}

@@ -1,0 +1,191 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+		{-1500, "-1.500µs"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (3 * Millisecond).Millis(); got != 3 {
+		t.Errorf("Millis() = %v, want 3", got)
+	}
+	if got := (5 * Microsecond).Micros(); got != 5 {
+		t.Errorf("Micros() = %v, want 5", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func(Time) { got = append(got, 3) })
+	e.Schedule(10, func(Time) { got = append(got, 1) })
+	e.Schedule(20, func(Time) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func(Time) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending before firing")
+	}
+	ev.Cancel()
+	if ev.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	ev.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	e.RunUntil(20)
+	if len(got) != 2 || got[0] != 5 || got[1] != 15 {
+		t.Fatalf("RunUntil fired wrong events: %v", got)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now() = %v, want 20", e.Now())
+	}
+	e.RunUntil(30)
+	if len(got) != 3 {
+		t.Fatalf("remaining event did not fire: %v", got)
+	}
+}
+
+func TestEngineAfterAndReschedulingInsideCallback(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick func(now Time)
+	tick = func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) < 4 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(5, func(Time) {})
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+	e.Schedule(150, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance past a pending event should panic")
+		}
+	}()
+	e.Advance(100)
+}
+
+// Property: however events are scheduled, they always fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			e.Schedule(Time(off), func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue should return ok=false")
+	}
+	e.Schedule(42, func(Time) {})
+	if at, ok := e.PeekTime(); !ok || at != 42 {
+		t.Fatalf("PeekTime = %v,%v want 42,true", at, ok)
+	}
+}

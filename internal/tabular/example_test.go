@@ -1,0 +1,23 @@
+package tabular_test
+
+import (
+	"fmt"
+
+	"exist/internal/tabular"
+)
+
+func ExampleTable_Render() {
+	t := &tabular.Table{
+		Header: []string{"scheme", "overhead"},
+		Notes:  []string{"lower is better"},
+	}
+	t.AddRow("EXIST", "0.95%")
+	t.AddRow("NHT", "5.63%")
+	fmt.Print(t.Render())
+	// Output:
+	// scheme  overhead
+	// ----------------
+	// EXIST      0.95%
+	// NHT        5.63%
+	//   note: lower is better
+}

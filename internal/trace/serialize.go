@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"exist/internal/kernel"
+	"exist/internal/simtime"
+)
+
+// Wire format: EXIST's data path uploads raw sessions to the object store
+// (OSS) instead of writing node-local files (§4 of the paper); the decoder
+// later fetches them together with the program binary. The format is a
+// simple tagged little-endian layout with a magic header.
+
+const sessionMagic = 0x45584953 // "EXIS"
+
+// putString appends a length-prefixed string.
+func putString(w *bytes.Buffer, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	w.Write(n[:])
+	w.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if int(n) > r.Len() {
+		return "", fmt.Errorf("trace: string length %d exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := r.Read(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Marshal serializes the session for upload.
+func (s *Session) Marshal() []byte {
+	var w bytes.Buffer
+	binary.Write(&w, binary.LittleEndian, uint32(sessionMagic))
+	putString(&w, s.ID)
+	putString(&w, s.Node)
+	putString(&w, s.Workload)
+	binary.Write(&w, binary.LittleEndian, int32(s.PID))
+	binary.Write(&w, binary.LittleEndian, int64(s.Start))
+	binary.Write(&w, binary.LittleEndian, int64(s.End))
+	binary.Write(&w, binary.LittleEndian, math.Float64bits(s.Scale))
+	binary.Write(&w, binary.LittleEndian, uint32(len(s.Cores)))
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		binary.Write(&w, binary.LittleEndian, int32(c.Core))
+		flags := uint8(0)
+		if c.Wrapped {
+			flags |= 1
+		}
+		if c.Stopped {
+			flags |= 2
+		}
+		w.WriteByte(flags)
+		binary.Write(&w, binary.LittleEndian, c.DroppedBytes)
+		binary.Write(&w, binary.LittleEndian, uint32(len(c.Data)))
+		w.Write(c.Data)
+	}
+	sw := s.Switches.Bytes()
+	binary.Write(&w, binary.LittleEndian, uint32(len(sw)))
+	w.Write(sw)
+	return w.Bytes()
+}
+
+// UnmarshalSession parses a serialized session.
+func UnmarshalSession(data []byte) (*Session, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != sessionMagic {
+		return nil, fmt.Errorf("trace: bad session magic %#x", magic)
+	}
+	s := &Session{}
+	var err error
+	if s.ID, err = getString(r); err != nil {
+		return nil, err
+	}
+	if s.Node, err = getString(r); err != nil {
+		return nil, err
+	}
+	if s.Workload, err = getString(r); err != nil {
+		return nil, err
+	}
+	var pid int32
+	var start, end int64
+	var scaleBits uint64
+	var nCores uint32
+	if err := binary.Read(r, binary.LittleEndian, &pid); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &start); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &end); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nCores); err != nil {
+		return nil, err
+	}
+	s.PID = pid
+	s.Start, s.End = simtime.Time(start), simtime.Time(end)
+	s.Scale = math.Float64frombits(scaleBits)
+	if int(nCores) > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible core count %d", nCores)
+	}
+	for i := 0; i < int(nCores); i++ {
+		var core int32
+		if err := binary.Read(r, binary.LittleEndian, &core); err != nil {
+			return nil, err
+		}
+		flags, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		var dropped int64
+		if err := binary.Read(r, binary.LittleEndian, &dropped); err != nil {
+			return nil, err
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if int(n) > r.Len() {
+			return nil, fmt.Errorf("trace: core data length %d exceeds remaining %d", n, r.Len())
+		}
+		data := make([]byte, n)
+		if _, err := r.Read(data); err != nil {
+			return nil, err
+		}
+		s.Cores = append(s.Cores, CoreTrace{
+			Core:         int(core),
+			Data:         data,
+			Wrapped:      flags&1 != 0,
+			Stopped:      flags&2 != 0,
+			DroppedBytes: dropped,
+		})
+	}
+	var swLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &swLen); err != nil {
+		return nil, err
+	}
+	if int(swLen) > r.Len() {
+		return nil, fmt.Errorf("trace: switch log length %d exceeds remaining %d", swLen, r.Len())
+	}
+	sw := make([]byte, swLen)
+	if _, err := r.Read(sw); err != nil && swLen > 0 {
+		return nil, err
+	}
+	log, err := kernel.DecodeSwitchLog(sw)
+	if err != nil {
+		return nil, err
+	}
+	s.Switches = *log
+	return s, nil
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"exist/internal/binary"
+	"exist/internal/cpu"
+	"exist/internal/sched"
+	"exist/internal/simtime"
+)
+
+func TestProfileInventory(t *testing.T) {
+	if got := len(SPEC()); got != 10 {
+		t.Fatalf("SPEC profiles = %d, want 10", got)
+	}
+	if got := len(OnlineBenchmarks()); got != 3 {
+		t.Fatalf("online profiles = %d, want 3", got)
+	}
+	if got := len(CloudApps()); got != 5 {
+		t.Fatalf("cloud profiles = %d, want 5", got)
+	}
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if p.Name == "" || p.Desc == "" {
+			t.Fatalf("unnamed profile: %+v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.BranchPerKCycle <= 0 || p.IPC <= 0 {
+			t.Fatalf("%s: missing rates", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("xz")
+	if err != nil || p.Threads != 4 {
+		t.Fatalf("ByName(xz) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestEXISTOverheadRange(t *testing.T) {
+	// The calibration target: EXIST's PT stretch across SPEC spans the
+	// paper's 0.4-1.5% range.
+	cost := cpu.Default()
+	for _, p := range SPEC() {
+		over := sched.PTStretchFor(cost, p.BranchPerKCycle) - 1
+		if over < 0.003 || over > 0.016 {
+			t.Errorf("%s: PT stretch %.4f outside the per-mille band", p.Name, over)
+		}
+	}
+}
+
+func TestSynthesizeValidates(t *testing.T) {
+	for _, p := range All() {
+		prog := p.Synthesize(7)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if prog.Name != p.Name {
+			t.Fatalf("program name %q", prog.Name)
+		}
+	}
+}
+
+func TestCloudCategoryMixes(t *testing.T) {
+	pred, _ := ByName("Pred")
+	prog := pred.Synthesize(3)
+	counts := map[binary.FuncCategory]int{}
+	for _, f := range prog.Funcs {
+		counts[f.Category]++
+	}
+	if counts[binary.CatKernelIRQ] == 0 || counts[binary.CatMemCopy] == 0 {
+		t.Fatalf("Pred category mix missing: %v", counts)
+	}
+}
+
+func TestInstallAnalytic(t *testing.T) {
+	cfg := sched.DefaultConfig()
+	cfg.Cores = 8
+	cfg.HTSiblings = false
+	m := sched.NewMachine(cfg)
+	mc, _ := ByName("mc")
+	proc := mc.Install(m, InstallOpts{Seed: 1})
+	if len(proc.Threads) != mc.Threads {
+		t.Fatalf("threads = %d, want %d", len(proc.Threads), mc.Threads)
+	}
+	m.Run(100 * simtime.Millisecond)
+	st := proc.Stats()
+	if st.Cycles == 0 || st.Syscalls == 0 {
+		t.Fatalf("online workload idle: %+v", st)
+	}
+	// Memcached syscalls roughly every 75k cycles.
+	perSyscall := float64(st.Cycles) / float64(st.Syscalls)
+	if perSyscall < 40_000 || perSyscall > 150_000 {
+		t.Fatalf("cycles/syscall = %.0f, want ~75k", perSyscall)
+	}
+}
+
+func TestInstallWalker(t *testing.T) {
+	cfg := sched.DefaultConfig()
+	cfg.Cores = 8
+	cfg.HTSiblings = false
+	m := sched.NewMachine(cfg)
+	s1, _ := ByName("Search1")
+	proc := s1.Install(m, InstallOpts{Walker: true, Scale: 1e-4, Seed: 2})
+	if proc.Prog == nil {
+		t.Fatal("walker install must synthesize a binary")
+	}
+	if proc.Mode != sched.CPUSet || len(proc.Allowed) != 8 {
+		t.Fatalf("Search1 provisioning wrong: %v %v", proc.Mode, proc.Allowed)
+	}
+	m.Run(50 * simtime.Millisecond)
+	if proc.Stats().Branches == 0 {
+		t.Fatal("walker produced no branches")
+	}
+}
+
+func TestComputeHWEvents(t *testing.T) {
+	p, _ := ByName("om")
+	base := p.ComputeHWEvents(1_000_000, 1.0, false, cpu.Default())
+	shared := p.ComputeHWEvents(1_000_000, 1.3, false, cpu.Default())
+	traced := p.ComputeHWEvents(1_000_000, 1.3, true, cpu.Default())
+	if shared.LLCMisses <= base.LLCMisses {
+		t.Fatal("interference must inflate misses")
+	}
+	if traced.LLCMisses <= shared.LLCMisses {
+		t.Fatal("tracing must add its LLC footprint")
+	}
+	// Tracing footprint is slight (~1.3%), per Figure 4.
+	ratio := float64(traced.LLCMisses) / float64(shared.LLCMisses)
+	if ratio > 1.02 {
+		t.Fatalf("tracing LLC inflation %.4f too large", ratio)
+	}
+	if traced.BranchMisses != shared.BranchMisses {
+		t.Fatal("tracing must not change branch misses")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Compute.String() != "compute" || Online.String() != "online" || Cloud.String() != "cloud" {
+		t.Fatal("class strings wrong")
+	}
+}

@@ -1,0 +1,144 @@
+// Package xrand provides the deterministic random-number utilities used by
+// every simulated substrate: splittable seeded streams and the handful of
+// distributions the workload and service models need.
+//
+// Determinism contract: a Rand constructed with the same seed always yields
+// the same sequence, and Split derives independent child streams from a
+// parent seed and a label, so adding a new consumer of randomness in one
+// module never perturbs the draws seen by another.
+package xrand
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic random stream. It wraps the stdlib PCG generator
+// with the distribution helpers the simulators need.
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent child stream from seed and a label. Streams
+// derived with different labels are statistically independent, and the
+// derivation is stable across runs.
+func Split(seed uint64, label string) *Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return New(h.Sum64())
+}
+
+// SplitN derives an independent child stream from seed, a label, and an
+// index, for per-entity streams (per core, per thread, per node, ...).
+func SplitN(seed uint64, label string, n int) *Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(n) >> (8 * i))
+	}
+	h.Write(b[:])
+	return New(h.Sum64())
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Int64N returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int { return r.src.IntN(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.src.ExpFloat64() * mean
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	return r.src.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normally distributed value parameterized by the
+// mean and coefficient of variation (stddev/mean) of the *resulting*
+// distribution. Log-normal service times are the standard model for
+// request processing in datacenter services.
+func (r *Rand) LogNormal(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(r.src.NormFloat64()*math.Sqrt(sigma2) + mu)
+}
+
+// Pareto returns a bounded Pareto-distributed value with minimum xm and
+// shape alpha. Heavy-tailed distributions model the occasional very long
+// request or context-switch period.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// WeightedPick returns an index into weights chosen with probability
+// proportional to the weight. It panics if weights is empty or sums to a
+// non-positive value.
+func (r *Rand) WeightedPick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("xrand: WeightedPick with non-positive total weight")
+	}
+	x := r.src.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Jitter returns v multiplied by a uniform factor in [1-amp, 1+amp].
+func (r *Rand) Jitter(v, amp float64) float64 {
+	return v * (1 + amp*(2*r.src.Float64()-1))
+}
