@@ -74,3 +74,7 @@ func BenchmarkCaseStudy(b *testing.B) { runExperiment(b, "casestudy") }
 func BenchmarkAblationControlOps(b *testing.B) { runExperiment(b, "ablation-control") }
 func BenchmarkAblationDropPolicy(b *testing.B) { runExperiment(b, "ablation-drop") }
 func BenchmarkAblationHotSwap(b *testing.B)    { runExperiment(b, "ablation-hotswap") }
+
+// Robustness extension: control-plane resilience under injected faults.
+
+func BenchmarkResilience(b *testing.B) { runExperiment(b, "resilience") }

@@ -7,16 +7,22 @@
 // Usage:
 //
 //	existctl -app Agent -nodes 10 -purpose anomaly -period 500ms
+//
+// Fault injection is strictly opt-in: the -loss/-corrupt/-put-fail/
+// -crash-mtbf/-stall flags attach a seeded injector and exercise the
+// resilient control plane (retries, leases, re-sampling, deadlines).
+// -cancel-after aborts the request mid-flight and deletes it, walking the
+// full CRD lifecycle.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"exist/internal/cluster"
 	"exist/internal/coverage"
+	"exist/internal/faults"
 	"exist/internal/simtime"
 	"exist/internal/trace"
 	"exist/internal/workload"
@@ -30,6 +36,16 @@ func main() {
 		purpose = flag.String("purpose", "anomaly", "anomaly | profiling")
 		period  = flag.Duration("period", 0, "tracing period (0 = temporal decider)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+
+		lossProb    = flag.Float64("loss", 0, "per-session data-loss probability (enables fault injection)")
+		corruptProb = flag.Float64("corrupt", 0, "per-session buffer bit-flip probability")
+		truncProb   = flag.Float64("truncate", 0, "per-session buffer tail-chop probability")
+		putFailProb = flag.Float64("put-fail", 0, "per-attempt object-store failure probability")
+		stallProb   = flag.Float64("stall", 0, "per-iteration controller stall probability")
+		crashMTBF   = flag.Duration("crash-mtbf", 0, "node mean time between crashes (0 = no crashes)")
+		faultSeed   = flag.Uint64("fault-seed", 42, "fault-injection seed")
+
+		cancelAfter = flag.Duration("cancel-after", 0, "cancel and delete the request after this virtual time (0 = run to completion)")
 	)
 	flag.Parse()
 
@@ -47,12 +63,29 @@ func main() {
 	ccfg.Nodes = *nodes
 	ccfg.CoresPerNode = *cores
 	ccfg.Seed = *seed
+	fc := faults.Config{
+		Seed:            *faultSeed,
+		PutFailProb:     *putFailProb,
+		SessionLossProb: *lossProb,
+		CorruptProb:     *corruptProb,
+		TruncateProb:    *truncProb,
+		StallProb:       *stallProb,
+		CrashMTBF:       simtime.Duration(crashMTBF.Nanoseconds()),
+	}
+	faultsOn := fc != (faults.Config{Seed: *faultSeed})
+	if faultsOn {
+		ccfg.Faults = faults.New(fc)
+	}
 	c := cluster.New(ccfg)
 	if err := c.Deploy(p, nil, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Seed: *seed}); err != nil {
 		fmt.Fprintln(os.Stderr, "deploy:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("existctl: deployed %s on %d nodes (%d cores each)\n", p.Name, *nodes, *cores)
+	if faultsOn {
+		fmt.Printf("existctl: fault injection ON (seed=%d loss=%.2f corrupt=%.2f truncate=%.2f put-fail=%.2f stall=%.2f crash-mtbf=%v)\n",
+			*faultSeed, *lossProb, *corruptProb, *truncProb, *putFailProb, *stallProb, *crashMTBF)
+	}
 
 	req, err := c.Request("existctl-request", cluster.TraceRequestSpec{
 		App:     p.Name,
@@ -69,10 +102,20 @@ func main() {
 	c.API.Watch(func(r *cluster.TraceRequest) {
 		fmt.Printf("existctl: [watch %v] %s -> %s %s\n", c.Eng.Now(), r.Name, r.Phase, r.Message)
 	})
+	if *cancelAfter > 0 {
+		c.Eng.Schedule(simtime.Time(cancelAfter.Nanoseconds()), func(now simtime.Time) {
+			fmt.Printf("existctl: [%v] operator cancel of %s\n", now, req.Name)
+			c.Cancel(req)
+		})
+	}
 
 	c.Run(5 * simtime.Second)
 
 	fmt.Printf("existctl: request phase: %s %s\n", req.Phase, req.Message)
+	if req.Planned > 0 && len(req.SessionKeys) < req.Planned {
+		fmt.Printf("existctl: partial coverage: %d/%d planned sessions landed (%d lost, %d re-sampled)\n",
+			len(req.SessionKeys), req.Planned, req.Lost, req.Resampled)
+	}
 	fmt.Printf("existctl: %d sessions uploaded to OSS (%.1f KB raw)\n",
 		len(req.SessionKeys), float64(c.OSS.Bytes())/1024)
 	for _, key := range req.SessionKeys {
@@ -89,5 +132,23 @@ func main() {
 	fmt.Printf("existctl: ODPS holds %d rows; %d distinct functions for %s\n", c.ODPS.Len(), len(agg), p.Name)
 	fmt.Printf("existctl: RCO management used %.2e cores on average (%.0f MB resident)\n",
 		c.ManagementCores(), c.Mgmt.MemMB)
-	_ = time.Second
+	if fi := ccfg.Faults; fi != nil {
+		st := fi.Stats()
+		fmt.Printf("existctl: injected faults: %d put errors, %d sessions lost, %d corrupted, %d truncated, %d crashes, %d stalls\n",
+			st.PutFailures, st.SessionsLost, st.SessionsCorrupted, st.SessionsTruncated, st.Crashes, st.Stalls)
+		fmt.Printf("existctl: control plane absorbed: %d retries, %d re-samples, %d lease expiries\n",
+			c.Mgmt.Retries, c.Mgmt.Resamples, c.Mgmt.LeaseExpiries)
+	}
+	if *cancelAfter > 0 {
+		if err := c.Delete(req.Name); err != nil {
+			fmt.Fprintln(os.Stderr, "delete:", err)
+			os.Exit(1)
+		}
+		if _, ok := c.API.Get(req.Name); ok {
+			fmt.Fprintln(os.Stderr, "delete: request still present after Delete")
+			os.Exit(1)
+		}
+		fmt.Printf("existctl: deleted TraceRequest %q (phase was %s); OSS now holds %d session blobs\n",
+			req.Name, req.Phase, len(c.OSS.List("")))
+	}
 }

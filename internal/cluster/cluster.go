@@ -5,17 +5,28 @@
 // object store for raw sessions (OSS stand-in), and a structured store
 // for decoded results (ODPS stand-in).
 //
+// The control plane is built for shared, stressed datacenters where
+// partial failure is the normal case: store operations retry with
+// exponential backoff and jitter, node health is tracked with heartbeat
+// leases, lost sessions are re-sampled onto healthy repetitions, and
+// per-request deadlines guarantee every TraceRequest reaches a terminal
+// phase. All failure modes are driven by the strictly opt-in, seeded
+// fault injector in package faults; with no injector attached the control
+// plane behaves exactly as a fault-free cluster.
+//
 // All nodes share one virtual clock, so cluster orchestration and
 // node-level scheduling interleave deterministically in a single timeline.
 package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"exist/internal/binary"
 	"exist/internal/core"
 	"exist/internal/coverage"
 	"exist/internal/decode"
+	"exist/internal/faults"
 	"exist/internal/memalloc"
 	"exist/internal/sched"
 	"exist/internal/simtime"
@@ -32,8 +43,23 @@ const (
 	PhasePending   Phase = "Pending"
 	PhaseRunning   Phase = "Running"
 	PhaseCompleted Phase = "Completed"
+	// PhaseDegraded is terminal: the request finished with partial
+	// coverage (some sessions lost to faults and not recoverable).
+	PhaseDegraded Phase = "Degraded"
+	// PhaseCancelled is terminal: the request was aborted by an operator;
+	// whatever was captured before the cancel is kept.
+	PhaseCancelled Phase = "Cancelled"
 	PhaseFailed    Phase = "Failed"
 )
+
+// Terminal reports whether the phase is final.
+func (p Phase) Terminal() bool {
+	switch p {
+	case PhaseCompleted, PhaseDegraded, PhaseCancelled, PhaseFailed:
+		return true
+	}
+	return false
+}
 
 // TraceRequestSpec is the user-facing configuration interface: what to
 // trace and how, encapsulated as a CRD in the API server.
@@ -50,6 +76,11 @@ type TraceRequestSpec struct {
 	MemBudget int64
 	// Scale is the space scale for the sessions (0: trace.SpaceScale).
 	Scale float64
+	// Deadline bounds the request's total lifetime; past it the request
+	// is forced to a terminal phase with whatever coverage it has. Zero
+	// uses the cluster default when fault injection is enabled, and no
+	// deadline otherwise.
+	Deadline simtime.Duration
 }
 
 // TraceRequest is the CRD object.
@@ -60,13 +91,36 @@ type TraceRequest struct {
 	Spec TraceRequestSpec
 	// Phase is the observed lifecycle phase.
 	Phase Phase
-	// Message carries failure details.
+	// Message carries failure details; it is cleared when a request
+	// recovers from a retried transient failure.
 	Message string
 	// SessionKeys lists the OSS keys of uploaded sessions.
 	SessionKeys []string
-	// pending counts sessions still running.
-	pending  int
-	sessions []*core.Session
+	// Planned is the number of sessions RCO's spatial sampler scheduled.
+	Planned int
+	// Lost counts sessions whose data was destroyed and could not be
+	// recovered by re-sampling.
+	Lost int
+	// Resampled counts replacement sessions opened on healthy nodes
+	// after a loss.
+	Resampled int
+
+	// pending counts session slots not yet resolved (landed or given up).
+	pending    int
+	sessions   []*core.Session
+	usedNodes  map[string]bool
+	period     simtime.Duration
+	scale      float64
+	cancelling bool
+	deadlineEv *simtime.Event
+}
+
+// CoverageFraction reports the fraction of planned sessions that landed.
+func (r *TraceRequest) CoverageFraction() float64 {
+	if r.Planned == 0 {
+		return 0
+	}
+	return float64(len(r.SessionKeys)) / float64(r.Planned)
 }
 
 // APIServer stores TraceRequests (the Kubernetes API server stand-in).
@@ -118,6 +172,26 @@ func (a *APIServer) Get(name string) (*TraceRequest, bool) {
 	return r, ok
 }
 
+// Delete removes a request from the server. Only requests in a terminal
+// phase can be deleted; cancel a live request first.
+func (a *APIServer) Delete(name string) error {
+	r, ok := a.requests[name]
+	if !ok {
+		return fmt.Errorf("cluster: trace request %q not found", name)
+	}
+	if !r.Phase.Terminal() {
+		return fmt.Errorf("cluster: trace request %q is %s; cancel it before deleting", name, r.Phase)
+	}
+	delete(a.requests, name)
+	for i, n := range a.order {
+		if n == name {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // List returns requests in creation order.
 func (a *APIServer) List() []*TraceRequest {
 	out := make([]*TraceRequest, 0, len(a.order))
@@ -142,6 +216,16 @@ type Node struct {
 	// (Figure 11: allocation near the ceiling while utilization is low).
 	MemCapacityMB  float64
 	MemAllocatedMB float64
+	// LeaseUntil is the node's health-lease expiry, renewed by
+	// heartbeats. The controller treats a node whose lease has lapsed as
+	// failed. Leases are only maintained when fault injection is on.
+	LeaseUntil simtime.Time
+	// Down marks a crashed node. The flag is the physical truth — the
+	// control plane only learns of it through lease expiry or a failed
+	// contact attempt.
+	Down bool
+
+	crashes int
 }
 
 // MgmtStats is the orchestration overhead ledger (Figure 17).
@@ -152,6 +236,16 @@ type MgmtStats struct {
 	MemMB float64
 	// Reconciles counts controller loop iterations.
 	Reconciles int64
+	// Stalls counts reconcile iterations lost to injected controller
+	// stalls.
+	Stalls int64
+	// Retries counts store operations that were re-attempted after a
+	// transient failure.
+	Retries int64
+	// Resamples counts replacement sessions scheduled after a loss.
+	Resamples int64
+	// LeaseExpiries counts node failures detected through lease lapse.
+	LeaseExpiries int64
 }
 
 // Config parameterizes a cluster.
@@ -164,11 +258,51 @@ type Config struct {
 	Seed uint64
 	// ReconcileEvery is the controller loop period.
 	ReconcileEvery simtime.Duration
+
+	// Faults, when non-nil, enables seeded fault injection and the
+	// resilience machinery (leases, deadlines, re-sampling). Strictly
+	// opt-in: a nil injector leaves every fault path dormant and the
+	// cluster bit-identical to a fault-free run.
+	Faults *faults.Injector
+	// HeartbeatEvery is the node lease heartbeat period (default 200 ms;
+	// only used when Faults is set).
+	HeartbeatEvery simtime.Duration
+	// LeaseTTL is how long a heartbeat keeps a node's lease valid
+	// (default 500 ms).
+	LeaseTTL simtime.Duration
+	// RequestDeadline is the default per-request deadline applied when
+	// Faults is set and the spec gives none (default 10 s).
+	RequestDeadline simtime.Duration
+	// RetryBase is the initial store-retry backoff (default 10 ms),
+	// doubled per attempt with ±50% jitter, capped at 1 s.
+	RetryBase simtime.Duration
+	// RetryMax bounds attempts per store operation (default 5).
+	RetryMax int
+	// ResampleMax bounds replacement attempts per lost session slot
+	// (default 3).
+	ResampleMax int
 }
 
 // DefaultConfig returns the paper's ten-node evaluation cluster.
 func DefaultConfig() Config {
 	return Config{Nodes: 10, CoresPerNode: 16, Seed: 1, ReconcileEvery: 100 * simtime.Millisecond}
+}
+
+// sessionRec tracks one in-flight session slot for the control plane.
+type sessionRec struct {
+	req  *TraceRequest
+	node *Node
+	// attempt is 0 for an originally planned session, k for the k-th
+	// replacement in its slot's re-sampling chain.
+	attempt int
+	// lost marks data destroyed by a node crash before upload.
+	lost bool
+}
+
+// resampleItem is one lost session slot awaiting re-scheduling.
+type resampleItem struct {
+	req     *TraceRequest
+	attempt int
 }
 
 // Cluster is the whole deployment.
@@ -190,8 +324,12 @@ type Cluster struct {
 	// Binaries is the binary repository the decoder consults.
 	Binaries map[string]*binary.Program
 
-	profiles map[string]workload.Profile
-	rng      *xrand.Rand
+	profiles     map[string]workload.Profile
+	rng          *xrand.Rand
+	retryRNG     *xrand.Rand
+	resampleRNG  *xrand.Rand
+	inflight     map[*core.Session]*sessionRec
+	needResample []resampleItem
 }
 
 // New builds a cluster with a shared engine and starts the controller
@@ -203,16 +341,37 @@ func New(cfg Config) *Cluster {
 	if cfg.ReconcileEvery <= 0 {
 		cfg.ReconcileEvery = 100 * simtime.Millisecond
 	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 200 * simtime.Millisecond
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 500 * simtime.Millisecond
+	}
+	if cfg.RequestDeadline <= 0 {
+		cfg.RequestDeadline = 10 * simtime.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * simtime.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5
+	}
+	if cfg.ResampleMax <= 0 {
+		cfg.ResampleMax = 3
+	}
 	c := &Cluster{
-		Cfg:      cfg,
-		Eng:      simtime.NewEngine(),
-		API:      NewAPIServer(),
-		OSS:      NewObjectStore(),
-		ODPS:     NewDataStore(),
-		Binaries: make(map[string]*binary.Program),
-		profiles: make(map[string]workload.Profile),
-		rng:      xrand.Split(cfg.Seed, "cluster"),
-		Mgmt:     MgmtStats{MemMB: 40}, // the RCO management pod's footprint
+		Cfg:         cfg,
+		Eng:         simtime.NewEngine(),
+		API:         NewAPIServer(),
+		OSS:         NewObjectStore(),
+		ODPS:        NewDataStore(),
+		Binaries:    make(map[string]*binary.Program),
+		profiles:    make(map[string]workload.Profile),
+		rng:         xrand.Split(cfg.Seed, "cluster"),
+		retryRNG:    xrand.Split(cfg.Seed, "cluster/retry"),
+		resampleRNG: xrand.Split(cfg.Seed, "cluster/resample"),
+		inflight:    make(map[*core.Session]*sessionRec),
+		Mgmt:        MgmtStats{MemMB: 40}, // the RCO management pod's footprint
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		mcfg := sched.DefaultConfig()
@@ -227,6 +386,18 @@ func New(cfg Config) *Cluster {
 			Apps:          make(map[string]*sched.Process),
 			MemCapacityMB: 384 * 1024 / float64(cfg.Nodes), // 384 GB class nodes scaled per config
 		})
+	}
+	// The resilience machinery (leases, crash schedules) is armed only
+	// when fault injection is on, so fault-free runs schedule exactly the
+	// events they always did.
+	if cfg.Faults != nil {
+		c.OSS.UseFaults(cfg.Faults)
+		c.ODPS.UseFaults(cfg.Faults)
+		for _, n := range c.Nodes {
+			n.LeaseUntil = c.Cfg.LeaseTTL
+			c.scheduleHeartbeat(n)
+			c.scheduleCrash(n)
+		}
 	}
 	c.scheduleReconcile()
 	return c
@@ -274,12 +445,19 @@ func (c *Cluster) Deploy(p workload.Profile, names []string, opt workload.Instal
 	return nil
 }
 
-// Request files a TraceRequest through the configuration interface.
+// Request files a TraceRequest through the configuration interface. The
+// request's deadline is armed immediately so even a fully stalled
+// controller cannot leave it hanging.
 func (c *Cluster) Request(name string, spec TraceRequestSpec) (*TraceRequest, error) {
 	if _, ok := c.profiles[spec.App]; !ok {
 		return nil, fmt.Errorf("cluster: app %q not deployed", spec.App)
 	}
-	return c.API.Create(name, spec)
+	r, err := c.API.Create(name, spec)
+	if err != nil {
+		return nil, err
+	}
+	c.armDeadline(r, c.Eng.Now())
+	return r, nil
 }
 
 // Run advances the whole cluster to the given time.
@@ -293,10 +471,79 @@ func (c *Cluster) scheduleReconcile() {
 	})
 }
 
+// scheduleHeartbeat arms one node's lease renewal loop. A down node skips
+// renewals, so its lease lapses and the controller detects the failure.
+func (c *Cluster) scheduleHeartbeat(n *Node) {
+	c.Eng.After(c.Cfg.HeartbeatEvery, func(now simtime.Time) {
+		if !n.Down {
+			n.LeaseUntil = now + c.Cfg.LeaseTTL
+		}
+		c.scheduleHeartbeat(n)
+	})
+}
+
+// scheduleCrash arms the node's next injected crash, if crash injection
+// is configured.
+func (c *Cluster) scheduleCrash(n *Node) {
+	d, ok := c.Cfg.Faults.NextCrash(n.Name, n.crashes)
+	if !ok {
+		return
+	}
+	c.Eng.After(d, func(now simtime.Time) {
+		n.crashes++
+		c.crashNode(n, now)
+		c.Eng.After(c.Cfg.Faults.Config().CrashDowntime, func(now simtime.Time) {
+			n.Down = false
+			n.LeaseUntil = now + c.Cfg.LeaseTTL
+			c.scheduleCrash(n)
+		})
+	})
+}
+
+// crashNode takes a node down: every in-flight session on it is destroyed
+// before upload. Sessions are closed in session-ID order so fault runs
+// stay deterministic.
+func (c *Cluster) crashNode(n *Node, now simtime.Time) {
+	c.Cfg.Faults.CountCrash()
+	n.Down = true
+	var doomed []*core.Session
+	for s, rec := range c.inflight {
+		if rec.node == n {
+			doomed = append(doomed, s)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool {
+		return doomed[i].Cfg.SessionID < doomed[j].Cfg.SessionID
+	})
+	for _, s := range doomed {
+		c.inflight[s].lost = true
+		s.Cancel() // fires OnDone; finishSession sees lost and re-samples
+	}
+}
+
+// nodeHealthy reports whether the control plane considers a node alive.
+// Without fault injection every node is healthy; with it, health is the
+// lease — a crashed node keeps passing until its lease lapses, exactly
+// the detection delay a real lease scheme has.
+func (c *Cluster) nodeHealthy(n *Node, now simtime.Time) bool {
+	if c.Cfg.Faults == nil {
+		return true
+	}
+	return n.LeaseUntil > now
+}
+
 // reconcile is the controller body: it moves Pending requests to Running
-// by opening node sessions, and charges management CPU.
+// by opening node sessions, re-samples lost sessions onto healthy nodes,
+// and charges management CPU.
 func (c *Cluster) reconcile(now simtime.Time) {
 	c.Mgmt.Reconciles++
+	if c.Cfg.Faults.StallReconcile(c.Mgmt.Reconciles) {
+		// Injected controller stall: the iteration burns its base cost
+		// but does no work. Requests simply wait for the next loop.
+		c.Mgmt.Stalls++
+		c.Mgmt.CPUSeconds += 50e-6
+		return
+	}
 	// Loop cost: list + status updates; grows with active requests.
 	active := 0
 	for _, r := range c.API.List() {
@@ -306,14 +553,76 @@ func (c *Cluster) reconcile(now simtime.Time) {
 	}
 	c.Mgmt.CPUSeconds += (50e-6) + float64(active)*20e-6
 
+	// Failure detection: count lease expiries of nodes not yet marked.
+	if c.Cfg.Faults != nil {
+		for _, n := range c.Nodes {
+			if n.Down && n.LeaseUntil <= now && n.LeaseUntil > now-c.Cfg.ReconcileEvery {
+				c.Mgmt.LeaseExpiries++
+			}
+		}
+	}
+
 	for _, r := range c.API.List() {
+		if r.Phase.Terminal() {
+			continue
+		}
+		c.armDeadline(r, now)
 		if r.Phase != PhasePending {
 			continue
 		}
 		if err := c.start(r, now); err != nil {
-			c.API.setPhase(r, PhaseFailed, err.Error())
+			c.terminate(r, PhaseFailed, err.Error())
 		}
 	}
+
+	c.processResamples(now)
+}
+
+// armDeadline schedules the request's terminal deadline once. Deadlines
+// default on only under fault injection; a fault-free cluster arms one
+// only when the spec asks for it.
+func (c *Cluster) armDeadline(r *TraceRequest, now simtime.Time) {
+	if r.deadlineEv != nil {
+		return
+	}
+	d := r.Spec.Deadline
+	if d <= 0 && c.Cfg.Faults != nil {
+		d = c.Cfg.RequestDeadline
+	}
+	if d <= 0 {
+		return
+	}
+	r.deadlineEv = c.Eng.After(d, func(now simtime.Time) {
+		r.deadlineEv = nil
+		c.expire(r, now)
+	})
+}
+
+// expire forces a stuck request to a terminal phase at its deadline:
+// whatever coverage landed is kept, everything still in flight is
+// abandoned.
+func (c *Cluster) expire(r *TraceRequest, now simtime.Time) {
+	if r.Phase.Terminal() {
+		return
+	}
+	if len(r.SessionKeys) > 0 {
+		c.terminate(r, PhaseDegraded, fmt.Sprintf(
+			"deadline exceeded: %d/%d sessions captured", len(r.SessionKeys), r.Planned))
+	} else {
+		c.terminate(r, PhaseFailed, "deadline exceeded with no sessions captured")
+	}
+	for _, s := range r.sessions {
+		s.Cancel() // finishSession drops the data: the request is terminal
+	}
+}
+
+// terminate moves a request to a terminal phase and disarms its deadline.
+func (c *Cluster) terminate(r *TraceRequest, phase Phase, msg string) {
+	if r.deadlineEv != nil {
+		r.deadlineEv.Cancel()
+		r.deadlineEv = nil
+	}
+	c.API.setPhase(r, phase, msg)
 }
 
 // start opens the node sessions for one request.
@@ -335,14 +644,20 @@ func (c *Cluster) start(r *TraceRequest, now simtime.Time) error {
 		})
 	}
 
-	// Spatial sampler: pick repetitions among nodes hosting the app.
+	// Spatial sampler: pick repetitions among healthy nodes hosting the
+	// app (health is lease-based and always true without fault injection).
 	var hosts []*Node
 	for _, n := range c.Nodes {
-		if _, ok := n.Apps[r.Spec.App]; ok {
+		if _, ok := n.Apps[r.Spec.App]; ok && c.nodeHealthy(n, now) {
 			hosts = append(hosts, n)
 		}
 	}
 	if len(hosts) == 0 {
+		if c.Cfg.Faults != nil {
+			// Every host's lease has lapsed; stay Pending and let a later
+			// reconcile (or the deadline) resolve the request.
+			return nil
+		}
 		return fmt.Errorf("app %q deployed nowhere", r.Spec.App)
 	}
 	var selected []*Node
@@ -375,76 +690,304 @@ func (c *Cluster) start(r *TraceRequest, now simtime.Time) error {
 	if scale <= 0 {
 		scale = trace.SpaceScale
 	}
+	r.period = period
+	r.scale = scale
+	r.Planned = len(selected)
+	r.usedNodes = make(map[string]bool)
 	c.API.setPhase(r, PhaseRunning, "")
 	for _, n := range selected {
-		cfg := core.DefaultConfig()
-		cfg.Period = period
-		cfg.Scale = scale
-		cfg.SessionID = fmt.Sprintf("%s/%s", r.Name, n.Name)
-		cfg.Node = n.Name
-		cfg.Seed = c.Cfg.Seed ^ hashName(cfg.SessionID)
-		if r.Spec.MemBudget > 0 {
-			cfg.Mem = memalloc.Config{
-				Budget:     r.Spec.MemBudget,
-				PerCoreMin: 4 << 20,
-				PerCoreMax: 128 << 20,
+		if err := c.openSession(r, n, 0); err != nil {
+			if c.Cfg.Faults == nil {
+				return err
 			}
-		}
-		sess, err := n.Ctrl.Trace(n.Apps[r.Spec.App], cfg)
-		if err != nil {
-			return err
+			// Under faults an unreachable node is a survivable event: the
+			// slot stays pending and is re-sampled next reconcile.
+			r.pending++
+			c.needResample = append(c.needResample, resampleItem{req: r, attempt: 0})
+			continue
 		}
 		r.pending++
-		r.sessions = append(r.sessions, sess)
-		node := n
-		sess.OnDone(func(s *core.Session) {
-			c.finishSession(r, node, s)
-		})
 	}
 	return nil
 }
 
-// Cancel aborts a running request: every open node session is closed
-// immediately and whatever was captured so far is kept.
-func (c *Cluster) Cancel(r *TraceRequest) {
-	if r.Phase != PhaseRunning {
+// openSession opens one tracing session on a node for a request. attempt
+// is 0 for planned sessions and k for the k-th replacement in a slot's
+// re-sampling chain.
+func (c *Cluster) openSession(r *TraceRequest, n *Node, attempt int) error {
+	if n.Down {
+		// The lease may still look valid, but contacting the node fails.
+		return fmt.Errorf("cluster: node %s unreachable", n.Name)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Period = r.period
+	cfg.Scale = r.scale
+	cfg.SessionID = fmt.Sprintf("%s/%s", r.Name, n.Name)
+	if attempt > 0 {
+		cfg.SessionID = fmt.Sprintf("%s/%s/r%d", r.Name, n.Name, attempt)
+	}
+	cfg.Node = n.Name
+	cfg.Seed = c.Cfg.Seed ^ hashName(cfg.SessionID)
+	if r.Spec.MemBudget > 0 {
+		cfg.Mem = memalloc.Config{
+			Budget:     r.Spec.MemBudget,
+			PerCoreMin: 4 << 20,
+			PerCoreMax: 128 << 20,
+		}
+	}
+	sess, err := n.Ctrl.Trace(n.Apps[r.Spec.App], cfg)
+	if err != nil {
+		return err
+	}
+	r.usedNodes[n.Name] = true
+	r.sessions = append(r.sessions, sess)
+	rec := &sessionRec{req: r, node: n, attempt: attempt}
+	c.inflight[sess] = rec
+	sess.OnDone(func(s *core.Session) {
+		c.finishSession(rec, s)
+	})
+	return nil
+}
+
+// processResamples reschedules lost session slots onto healthy nodes —
+// RCO's spatial sampler re-run over the repetitions that still hold. A
+// slot whose re-sampling budget is exhausted (or that has no healthy
+// untraced repetition left) is given up, degrading the request to partial
+// coverage instead of failing it.
+func (c *Cluster) processResamples(now simtime.Time) {
+	if len(c.needResample) == 0 {
 		return
 	}
-	for _, s := range r.sessions {
-		s.Cancel() // fires OnDone, which uploads and decrements pending
+	queue := c.needResample
+	c.needResample = nil
+	for _, it := range queue {
+		r := it.req
+		if r.Phase.Terminal() || r.cancelling {
+			continue
+		}
+		if it.attempt >= c.Cfg.ResampleMax {
+			c.giveUpSlot(r)
+			continue
+		}
+		reps := c.replacementCandidates(r, now)
+		idx := coverage.SelectReplacements(reps, r.usedNodes, 1, c.resampleRNG)
+		if len(idx) == 0 {
+			// No healthy untraced repetition this round; burn one attempt
+			// and retry next reconcile so a recovering node can pick the
+			// slot up, without spinning forever.
+			c.needResample = append(c.needResample, resampleItem{req: r, attempt: it.attempt + 1})
+			continue
+		}
+		n, _ := c.Node(reps[idx[0]].Node)
+		if err := c.openSession(r, n, it.attempt+1); err != nil {
+			c.needResample = append(c.needResample, resampleItem{req: r, attempt: it.attempt + 1})
+			continue
+		}
+		r.Resampled++
+		c.Mgmt.Resamples++
+		c.Mgmt.CPUSeconds += 50e-6
 	}
 }
 
-// finishSession uploads one completed session and decodes it into the
-// structured store; when the last session lands, the request completes.
-func (c *Cluster) finishSession(r *TraceRequest, n *Node, s *core.Session) {
-	res, err := s.Result()
-	if err != nil {
-		c.API.setPhase(r, PhaseFailed, err.Error())
+// replacementCandidates lists the request's app repetitions with their
+// current health, for the re-sampler.
+func (c *Cluster) replacementCandidates(r *TraceRequest, now simtime.Time) []coverage.Repetition {
+	var reps []coverage.Repetition
+	for _, n := range c.Nodes {
+		if _, ok := n.Apps[r.Spec.App]; !ok {
+			continue
+		}
+		reps = append(reps, coverage.Repetition{Node: n.Name, Down: !c.nodeHealthy(n, now)})
+	}
+	return reps
+}
+
+// giveUpSlot abandons one lost session slot: the request will complete
+// with partial coverage (or fail if nothing landed at all).
+func (c *Cluster) giveUpSlot(r *TraceRequest) {
+	r.Lost++
+	c.sessionDone(r)
+}
+
+// Cancel aborts a live request: every open node session is closed
+// immediately, whatever was captured so far is kept, and the request
+// moves to the terminal Cancelled phase.
+func (c *Cluster) Cancel(r *TraceRequest) {
+	if r.Phase.Terminal() {
 		return
 	}
-	key := "sessions/" + s.Cfg.SessionID
-	c.OSS.Put(key, res.Marshal())
-	r.SessionKeys = append(r.SessionKeys, key)
-	// Per-session management cost: upload bookkeeping and status update.
-	c.Mgmt.CPUSeconds += 100e-6
+	r.cancelling = true
+	for _, s := range r.sessions {
+		s.Cancel() // fires OnDone, which uploads the partial capture
+	}
+	c.terminate(r, PhaseCancelled, "cancelled by operator")
+}
 
-	// Decode against the binary repository and persist structured rows.
-	if prog, ok := c.Binaries[r.Spec.App]; ok {
-		rec := decode.Decode(res, prog)
-		rows := make([]Row, 0, len(rec.FuncEntries))
-		for fn, count := range rec.FuncEntries {
-			rows = append(rows, Row{
-				App: r.Spec.App, Node: n.Name, Session: s.Cfg.SessionID,
-				Key: prog.Funcs[fn].Name, Value: float64(count),
-			})
-		}
-		c.ODPS.Insert(rows...)
+// Delete removes a terminal request and its uploaded sessions from the
+// stores. Live requests must be cancelled first.
+func (c *Cluster) Delete(name string) error {
+	r, ok := c.API.Get(name)
+	if !ok {
+		return fmt.Errorf("cluster: trace request %q not found", name)
+	}
+	if !r.Phase.Terminal() {
+		return fmt.Errorf("cluster: trace request %q is %s; cancel it before deleting", name, r.Phase)
+	}
+	for _, key := range r.SessionKeys {
+		c.OSS.Delete(key)
+	}
+	return c.API.Delete(name)
+}
+
+// finishSession resolves one closed session: consult the fault injector
+// for the data's fate, upload with retries, decode into the structured
+// store, and complete the request when the last slot resolves.
+func (c *Cluster) finishSession(rec *sessionRec, s *core.Session) {
+	r, n := rec.req, rec.node
+	delete(c.inflight, s)
+	if r.Phase.Terminal() {
+		// Deadline or cancellation already resolved the request; the
+		// late capture is dropped.
+		return
+	}
+	if rec.lost {
+		// Node crash destroyed the data before upload.
+		c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
+		return
+	}
+	res, err := s.Result()
+	if err != nil {
+		c.terminate(r, PhaseFailed, err.Error())
+		return
 	}
 
+	switch c.Cfg.Faults.SessionFate(s.Cfg.SessionID) {
+	case faults.FateLost:
+		// The capture vanished between window close and upload.
+		c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
+		return
+	case faults.FateCorrupted:
+		for i := range res.Cores {
+			c.Cfg.Faults.CorruptBuffer(fmt.Sprintf("%s#%d", s.Cfg.SessionID, res.Cores[i].Core), res.Cores[i].Data)
+		}
+	case faults.FateTruncated:
+		for i := range res.Cores {
+			res.Cores[i].Data = c.Cfg.Faults.TruncateBuffer(
+				fmt.Sprintf("%s#%d", s.Cfg.SessionID, res.Cores[i].Core), res.Cores[i].Data)
+		}
+	}
+
+	key := "sessions/" + s.Cfg.SessionID
+	blob := res.Marshal()
+	c.putWithRetry(r, key, blob, 0, func(ok bool) {
+		if !ok {
+			// Upload exhausted its retries: the data is gone; re-sample.
+			c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
+			return
+		}
+		r.SessionKeys = append(r.SessionKeys, key)
+		// Per-session management cost: upload bookkeeping and status update.
+		c.Mgmt.CPUSeconds += 100e-6
+
+		// Decode against the binary repository and persist structured rows.
+		if prog, ok := c.Binaries[r.Spec.App]; ok {
+			dec := decode.Decode(res, prog)
+			rows := make([]Row, 0, len(dec.FuncEntries))
+			for fn, count := range dec.FuncEntries {
+				rows = append(rows, Row{
+					App: r.Spec.App, Node: n.Name, Session: s.Cfg.SessionID,
+					Key: prog.Funcs[fn].Name, Value: float64(count),
+				})
+			}
+			c.insertWithRetry(r, s.Cfg.SessionID, rows, 0)
+		}
+		c.sessionDone(r)
+	})
+}
+
+// putWithRetry uploads a blob with exponential backoff and jitter. The
+// request's Message tracks the transient error while retrying and is
+// cleared when the upload recovers. done is called exactly once, inline
+// on immediate success (preserving fault-free event order).
+func (c *Cluster) putWithRetry(r *TraceRequest, key string, blob []byte, attempt int, done func(ok bool)) {
+	err := c.OSS.Put(key, blob)
+	if err == nil {
+		if attempt > 0 && !r.Phase.Terminal() {
+			// Recovered after transient failures: clear the stale message.
+			r.Message = ""
+		}
+		done(true)
+		return
+	}
+	if attempt+1 >= c.Cfg.RetryMax {
+		r.Message = fmt.Sprintf("upload %s failed after %d attempts: %v", key, attempt+1, err)
+		done(false)
+		return
+	}
+	if !r.Phase.Terminal() {
+		r.Message = fmt.Sprintf("%v; retrying", err)
+	}
+	c.Mgmt.Retries++
+	c.Mgmt.CPUSeconds += 50e-6
+	c.Eng.After(c.backoff(attempt), func(simtime.Time) {
+		if r.Phase.Terminal() {
+			return
+		}
+		c.putWithRetry(r, key, blob, attempt+1, done)
+	})
+}
+
+// insertWithRetry lands decoded rows with the same backoff scheme. A
+// batch that exhausts its retries is dropped: raw data is already safe in
+// the object store, so structured rows are recoverable offline.
+func (c *Cluster) insertWithRetry(r *TraceRequest, batch string, rows []Row, attempt int) {
+	err := c.ODPS.Insert(batch, rows...)
+	if err == nil {
+		if attempt > 0 && !r.Phase.Terminal() {
+			r.Message = ""
+		}
+		return
+	}
+	if attempt+1 >= c.Cfg.RetryMax {
+		return
+	}
+	if !r.Phase.Terminal() {
+		r.Message = fmt.Sprintf("%v; retrying", err)
+	}
+	c.Mgmt.Retries++
+	c.Mgmt.CPUSeconds += 50e-6
+	c.Eng.After(c.backoff(attempt), func(simtime.Time) {
+		c.insertWithRetry(r, batch, rows, attempt+1)
+	})
+}
+
+// backoff returns the jittered exponential delay for a retry attempt.
+func (c *Cluster) backoff(attempt int) simtime.Duration {
+	d := c.Cfg.RetryBase
+	for i := 0; i < attempt && d < simtime.Second; i++ {
+		d *= 2
+	}
+	if d > simtime.Second {
+		d = simtime.Second
+	}
+	return simtime.Duration(c.retryRNG.Jitter(float64(d), 0.5))
+}
+
+// sessionDone resolves one session slot and completes the request when
+// the last slot lands.
+func (c *Cluster) sessionDone(r *TraceRequest) {
 	r.pending--
-	if r.pending == 0 && r.Phase == PhaseRunning {
-		c.API.setPhase(r, PhaseCompleted, "")
+	if r.pending > 0 || r.Phase != PhaseRunning || r.cancelling {
+		return
+	}
+	switch {
+	case len(r.SessionKeys) == 0:
+		c.terminate(r, PhaseFailed, fmt.Sprintf("all %d sessions lost", r.Planned))
+	case r.Lost > 0:
+		c.terminate(r, PhaseDegraded, fmt.Sprintf(
+			"%d/%d sessions lost; completed with partial coverage", r.Lost, r.Planned))
+	default:
+		c.terminate(r, PhaseCompleted, "")
 	}
 }
 

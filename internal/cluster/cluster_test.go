@@ -35,7 +35,7 @@ func TestObjectStore(t *testing.T) {
 
 func TestDataStore(t *testing.T) {
 	d := NewDataStore()
-	d.Insert(
+	d.Insert("batch-1",
 		Row{App: "a", Session: "s2", Key: "f1", Value: 2},
 		Row{App: "a", Session: "s1", Key: "f2", Value: 3},
 		Row{App: "b", Session: "s1", Key: "f1", Value: 7},
@@ -236,8 +236,8 @@ func TestCancelRequest(t *testing.T) {
 		t.Fatalf("phase = %s before cancel", req.Phase)
 	}
 	c.Cancel(req)
-	if req.Phase != PhaseCompleted {
-		t.Fatalf("phase = %s after cancel, want Completed", req.Phase)
+	if req.Phase != PhaseCancelled {
+		t.Fatalf("phase = %s after cancel, want Cancelled", req.Phase)
 	}
 	// Partial sessions were still uploaded.
 	if len(req.SessionKeys) == 0 {

@@ -3,36 +3,68 @@ package cluster
 import (
 	"fmt"
 	"sort"
+
+	"exist/internal/faults"
 )
 
 // ObjectStore is the unstructured blob store EXIST uploads raw sessions
 // to (the OSS stand-in of §4): traced data goes straight to the object
 // store instead of node-local files, avoiding node memory and file I/O.
+//
+// Put is fault-aware: with an injector attached, attempts can fail with
+// transient errors (the control plane retries with backoff). Without one,
+// Put never fails.
 type ObjectStore struct {
-	blobs map[string][]byte
-	bytes int64
-	puts  int64
+	blobs    map[string][]byte
+	bytes    int64
+	puts     int64
+	failures int64
+	attempts map[string]int
+	inj      *faults.Injector
 }
 
 // NewObjectStore returns an empty store.
 func NewObjectStore() *ObjectStore {
-	return &ObjectStore{blobs: make(map[string][]byte)}
+	return &ObjectStore{blobs: make(map[string][]byte), attempts: make(map[string]int)}
 }
 
-// Put stores a blob under key, replacing any previous value.
-func (o *ObjectStore) Put(key string, data []byte) {
+// UseFaults attaches a fault injector; nil detaches it.
+func (o *ObjectStore) UseFaults(inj *faults.Injector) { o.inj = inj }
+
+// Put stores a blob under key, replacing any previous value. With fault
+// injection enabled it may return a transient error; the blob is then not
+// stored and the caller should retry.
+func (o *ObjectStore) Put(key string, data []byte) error {
+	attempt := o.attempts[key]
+	o.attempts[key] = attempt + 1
+	if err := o.inj.PutError(key, attempt); err != nil {
+		o.failures++
+		return err
+	}
 	if old, ok := o.blobs[key]; ok {
 		o.bytes -= int64(len(old))
 	}
 	o.blobs[key] = append([]byte(nil), data...)
 	o.bytes += int64(len(data))
 	o.puts++
+	return nil
 }
 
 // Get retrieves a blob.
 func (o *ObjectStore) Get(key string) ([]byte, bool) {
 	b, ok := o.blobs[key]
 	return b, ok
+}
+
+// Delete removes a blob, reporting whether it existed.
+func (o *ObjectStore) Delete(key string) bool {
+	b, ok := o.blobs[key]
+	if !ok {
+		return false
+	}
+	o.bytes -= int64(len(b))
+	delete(o.blobs, key)
+	return true
 }
 
 // List returns all keys with the prefix, sorted.
@@ -50,8 +82,11 @@ func (o *ObjectStore) List(prefix string) []string {
 // Bytes returns the stored volume.
 func (o *ObjectStore) Bytes() int64 { return o.bytes }
 
-// Puts returns the number of uploads.
+// Puts returns the number of successful uploads.
 func (o *ObjectStore) Puts() int64 { return o.puts }
+
+// Failures returns the number of failed upload attempts.
+func (o *ObjectStore) Failures() int64 { return o.failures }
 
 // Row is one structured record in the processing store.
 type Row struct {
@@ -65,19 +100,40 @@ type Row struct {
 
 // DataStore is the structured, queryable store decoded results land in
 // (the ODPS stand-in of §4); engineers query it for analysis and
-// reproduction.
+// reproduction. Insert is fault-aware under an attached injector, like
+// ObjectStore.Put.
 type DataStore struct {
-	rows []Row
+	rows     []Row
+	failures int64
+	attempts map[string]int
+	inj      *faults.Injector
 }
 
 // NewDataStore returns an empty store.
-func NewDataStore() *DataStore { return &DataStore{} }
+func NewDataStore() *DataStore { return &DataStore{attempts: make(map[string]int)} }
 
-// Insert appends rows.
-func (d *DataStore) Insert(rows ...Row) { d.rows = append(d.rows, rows...) }
+// UseFaults attaches a fault injector; nil detaches it.
+func (d *DataStore) UseFaults(inj *faults.Injector) { d.inj = inj }
+
+// Insert appends rows as one batch identified by batch (typically the
+// session ID). With fault injection enabled the whole batch may fail
+// transiently; no partial batch is ever stored.
+func (d *DataStore) Insert(batch string, rows ...Row) error {
+	attempt := d.attempts[batch]
+	d.attempts[batch] = attempt + 1
+	if err := d.inj.InsertError(batch, attempt); err != nil {
+		d.failures++
+		return err
+	}
+	d.rows = append(d.rows, rows...)
+	return nil
+}
 
 // Len returns the row count.
 func (d *DataStore) Len() int { return len(d.rows) }
+
+// Failures returns the number of failed insert attempts.
+func (d *DataStore) Failures() int64 { return d.failures }
 
 // QueryApp returns all rows for an app, ordered by (session, key).
 func (d *DataStore) QueryApp(app string) []Row {

@@ -85,6 +85,9 @@ type Repetition struct {
 	// Anomalous marks instances implicated in the anomaly under
 	// diagnosis.
 	Anomalous bool
+	// Down marks instances on failed (lease-expired) nodes; the sampler
+	// never selects them.
+	Down bool
 }
 
 // SampleSpec parameterizes the spatial sampler.
@@ -142,6 +145,35 @@ func SelectRepetitions(reps []Repetition, spec SampleSpec, rng *xrand.Rand) []in
 	perm := rng.Perm(len(reps))[:n]
 	sort.Ints(perm)
 	return perm
+}
+
+// SelectReplacements re-runs the spatial sampler after failure: it picks
+// up to n replacement repetitions for lost sessions among instances that
+// are healthy and not already traced for the request (used maps node name
+// to true for traced instances). Selection is random via rng so the
+// replacement choice carries no placement bias; indices come back sorted.
+// When fewer candidates than n remain, all of them are returned — the
+// request degrades to partial coverage instead of failing.
+func SelectReplacements(reps []Repetition, used map[string]bool, n int, rng *xrand.Rand) []int {
+	if n <= 0 {
+		return nil
+	}
+	var cands []int
+	for i, r := range reps {
+		if !r.Down && !used[r.Node] {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) <= n {
+		return cands
+	}
+	perm := rng.Perm(len(cands))[:n]
+	out := make([]int, 0, n)
+	for _, p := range perm {
+		out = append(out, cands[p])
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Augmented is the cluster-level merge of per-worker reconstructions:

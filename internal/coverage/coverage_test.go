@@ -76,6 +76,46 @@ func TestSelectRepetitionsProfiling(t *testing.T) {
 	}
 }
 
+func TestSelectReplacements(t *testing.T) {
+	reps := []Repetition{
+		{Node: "a"},             // already traced
+		{Node: "b", Down: true}, // failed
+		{Node: "c"},             // candidate
+		{Node: "d"},             // candidate
+		{Node: "e"},             // candidate
+	}
+	used := map[string]bool{"a": true}
+
+	// Fewer candidates than requested: all of them come back.
+	all := SelectReplacements(reps, used, 10, xrand.New(1))
+	if len(all) != 3 || all[0] != 2 || all[1] != 3 || all[2] != 4 {
+		t.Fatalf("replacements = %v, want [2 3 4]", all)
+	}
+	// Down and used instances are never selected.
+	for i := 0; i < 50; i++ {
+		got := SelectReplacements(reps, used, 1, xrand.New(uint64(i)))
+		if len(got) != 1 {
+			t.Fatalf("want one replacement, got %v", got)
+		}
+		if r := reps[got[0]]; r.Down || used[r.Node] {
+			t.Fatalf("selected unusable repetition %+v", r)
+		}
+	}
+	// Nothing healthy and untraced left: empty, not an error.
+	if got := SelectReplacements(reps, map[string]bool{"a": true, "c": true, "d": true, "e": true}, 1, xrand.New(1)); len(got) != 0 {
+		t.Fatalf("exhausted pool gave %v", got)
+	}
+	if got := SelectReplacements(reps, used, 0, xrand.New(1)); got != nil {
+		t.Fatalf("n=0 gave %v", got)
+	}
+	// Deterministic for a fixed seed.
+	a := SelectReplacements(reps, used, 2, xrand.New(7))
+	b := SelectReplacements(reps, used, 2, xrand.New(7))
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+}
+
 func mkResult(funcs ...int32) *decode.Result {
 	r := &decode.Result{
 		ByThread:    map[int32][]trace.Event{1: {{TID: 1}}},

@@ -45,6 +45,10 @@ type Result struct {
 	// Errors lists decode problems (truncation at a stopped buffer is
 	// normal; anything else indicates desync).
 	Errors []string
+	// Resyncs counts mid-stream recoveries: after a desync the decoder
+	// scans forward to the next PSB and resumes instead of discarding the
+	// rest of the buffer.
+	Resyncs int64
 }
 
 // PTWrite is one decoded PTWRITE operand.
@@ -82,6 +86,7 @@ func (r *Result) Merge(other *Result) {
 	r.Events += other.Events
 	r.BytesDecoded += other.BytesDecoded
 	r.Errors = append(r.Errors, other.Errors...)
+	r.Resyncs += other.Resyncs
 }
 
 // sidecarIndex resolves schedule-in records per core for thread
@@ -161,6 +166,10 @@ type segment struct {
 // corrupt stream.
 const silentWalkCap = 1 << 20
 
+// maxResyncs bounds PSB recoveries per core stream so a thoroughly
+// corrupt buffer cannot bloat the error list.
+const maxResyncs = 64
+
 // decoder holds per-stream state.
 type decoder struct {
 	res     *Result
@@ -186,13 +195,24 @@ func decodeStream(res *Result, prog *binary.Program, idx *sidecarIndex, core int
 			return nil
 		}
 	}
+	resyncs := 0
 	for {
 		pkt, ok, err := p.Next()
 		if err != nil {
 			// A truncated trailing packet is the normal signature of a
 			// compulsory-drop stop; anything mid-stream is a desync.
 			res.Errors = append(res.Errors, fmt.Sprintf("core %d: %v", core, err))
-			break
+			// Graceful recovery: scan forward to the next PSB and resume
+			// instead of discarding the rest of the buffer. The error
+			// position itself can never parse as a full PSB, so Sync always
+			// makes progress; the cap keeps Errors bounded on garbage.
+			if resyncs >= maxResyncs || !p.Sync() {
+				break
+			}
+			resyncs++
+			res.Resyncs++
+			d.desync()
+			continue
 		}
 		if !ok {
 			break
@@ -201,6 +221,16 @@ func decodeStream(res *Result, prog *binary.Program, idx *sidecarIndex, core int
 	}
 	res.BytesDecoded += int64(p.Pos())
 	return d.segs
+}
+
+// desync resets stream-dependent state after a recovery scan: position
+// and enablement are unknown until the next TIP.PGE re-anchors them, so
+// the decoder conservatively drops out of tracing rather than emitting
+// events from a misaligned stream.
+func (d *decoder) desync() {
+	d.tracing = false
+	d.curOK = false
+	d.seg = nil
 }
 
 // packet advances the decoder by one packet.

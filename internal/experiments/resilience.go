@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"exist/internal/cluster"
+	"exist/internal/coverage"
+	"exist/internal/faults"
+	"exist/internal/simtime"
+	"exist/internal/tabular"
+	"exist/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "resilience",
+		Title: "Resilience: graceful trace degradation under injected faults",
+		Paper: "robustness extension: at 10% session loss every request terminates and >=80% land with (partial) coverage",
+		Run:   runResilience,
+	})
+}
+
+// resilienceRun is one cluster run's outcome at a given fault level.
+type resilienceRun struct {
+	requests  int
+	terminal  int
+	covered   int // terminal with at least one session landed
+	degraded  int
+	completed int
+	coverage  float64 // mean CoverageFraction
+	accuracy  float64 // decoded histogram vs fault-free reference
+	resamples int64
+	retries   int64
+}
+
+// runResilienceLevel runs the standard request mix against a cluster with
+// the given fault config and scores it against ref (the fault-free
+// decoded histogram; nil to just collect it).
+func runResilienceLevel(cfg Config, fc faults.Config, ref map[string]float64) (resilienceRun, map[string]float64, error) {
+	ccfg := cluster.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	ccfg.Nodes = 8
+	ccfg.CoresPerNode = 4
+	if cfg.Quick {
+		ccfg.Nodes = 6
+	}
+	if fc != (faults.Config{}) {
+		ccfg.Faults = faults.New(fc)
+	}
+	c := cluster.New(ccfg)
+	agent, err := workload.ByName("Agent")
+	if err != nil {
+		return resilienceRun{}, nil, err
+	}
+	if err := c.Deploy(agent, nil, workload.InstallOpts{Walker: true, Scale: 1e-4, Seed: cfg.Seed + 5}); err != nil {
+		return resilienceRun{}, nil, err
+	}
+
+	// A steady stream of requests alternating the two RCO purposes.
+	// Profiling samples a subset of instances, leaving healthy spares the
+	// re-sampler can recover onto; anomaly diagnosis traces every
+	// instance, so a lost session has nowhere to go and the request must
+	// degrade to partial coverage instead of failing.
+	n := 20
+	if cfg.Quick {
+		n = 8
+	}
+	var reqs []*cluster.TraceRequest
+	for i := 0; i < n; i++ {
+		purpose := coverage.PurposeProfiling
+		name := fmt.Sprintf("prof-%d", i)
+		if i%2 == 1 {
+			purpose = coverage.PurposeAnomaly
+			name = fmt.Sprintf("diag-%d", i)
+		}
+		at := simtime.Time(i) * simtime.Time(500*simtime.Millisecond)
+		c.Eng.Schedule(at, func(simtime.Time) {
+			r, err := c.Request(name, cluster.TraceRequestSpec{
+				App:     "Agent",
+				Purpose: purpose,
+				Period:  200 * simtime.Millisecond,
+			})
+			if err == nil {
+				reqs = append(reqs, r)
+			}
+		})
+	}
+	// Generous horizon: deadlines guarantee termination well before it.
+	c.Run(simtime.Time(n)*simtime.Time(500*simtime.Millisecond) + simtime.Time(15*simtime.Second))
+
+	run := resilienceRun{requests: len(reqs)}
+	var covSum float64
+	for _, r := range reqs {
+		if r.Phase.Terminal() {
+			run.terminal++
+		}
+		if r.Phase.Terminal() && len(r.SessionKeys) > 0 {
+			run.covered++
+		}
+		switch r.Phase {
+		case cluster.PhaseDegraded:
+			run.degraded++
+		case cluster.PhaseCompleted:
+			run.completed++
+		}
+		covSum += r.CoverageFraction()
+	}
+	if len(reqs) > 0 {
+		run.coverage = covSum / float64(len(reqs))
+	}
+	run.resamples = c.Mgmt.Resamples
+	run.retries = c.Mgmt.Retries
+
+	hist := c.ODPS.AggregateApp("Agent")
+	if ref == nil {
+		run.accuracy = 1
+	} else {
+		run.accuracy = histMatch(ref, hist)
+	}
+	return run, hist, nil
+}
+
+// histMatch is the distribution-overlap accuracy of a decoded function
+// histogram against a reference (string-keyed WeightMatch).
+func histMatch(ref, got map[string]float64) float64 {
+	var refTotal, gotTotal float64
+	for _, v := range ref {
+		refTotal += v
+	}
+	for _, v := range got {
+		gotTotal += v
+	}
+	if refTotal == 0 && gotTotal == 0 {
+		return 1
+	}
+	if refTotal == 0 || gotTotal == 0 {
+		return 0
+	}
+	var err float64
+	for k, v := range ref {
+		err += math.Abs(v/refTotal - got[k]/gotTotal)
+	}
+	for k, v := range got {
+		if _, ok := ref[k]; !ok {
+			err += v / gotTotal
+		}
+	}
+	return (2 - err) / 2
+}
+
+func runResilience(cfg Config) (*Result, error) {
+	res := &Result{ID: "resilience"}
+
+	// Sweep 1: session-loss rate. The acceptance bar sits at 10%: every
+	// request terminal, >=80% with coverage, accuracy falling smoothly.
+	lossRates := []float64{0, 0.05, 0.10, 0.20, 0.30}
+	if cfg.Quick {
+		lossRates = []float64{0, 0.10, 0.30}
+	}
+	t1 := &tabular.Table{
+		Title: "Graceful degradation vs injected session-loss rate (corruption riding along at loss/2)",
+		Header: []string{"loss rate", "terminal", "with coverage", "completed", "degraded",
+			"mean coverage", "accuracy", "resamples"},
+	}
+	var ref map[string]float64
+	for _, rate := range lossRates {
+		fc := faults.Config{}
+		if rate > 0 {
+			fc = faults.Config{
+				Seed:            cfg.Seed + 77,
+				SessionLossProb: rate,
+				CorruptProb:     rate / 2,
+				TruncateProb:    rate / 2,
+			}
+		}
+		run, hist, err := runResilienceLevel(cfg, fc, ref)
+		if err != nil {
+			return nil, err
+		}
+		if ref == nil {
+			ref = hist
+		}
+		t1.AddRow(
+			fmt.Sprintf("%.0f%%", rate*100),
+			fmt.Sprintf("%d/%d", run.terminal, run.requests),
+			fmt.Sprintf("%d/%d", run.covered, run.requests),
+			fmt.Sprintf("%d", run.completed),
+			fmt.Sprintf("%d", run.degraded),
+			fmt.Sprintf("%.2f", run.coverage),
+			fmt.Sprintf("%.3f", run.accuracy),
+			fmt.Sprintf("%d", run.resamples),
+		)
+		tag := fmt.Sprintf("loss%.0f", rate*100)
+		res.Metric("terminal_frac_"+tag, frac(run.terminal, run.requests))
+		res.Metric("covered_frac_"+tag, frac(run.covered, run.requests))
+		res.Metric("accuracy_"+tag, run.accuracy)
+		res.Metric("coverage_"+tag, run.coverage)
+	}
+	t1.Notes = append(t1.Notes,
+		"accuracy: decoded function-histogram overlap vs the fault-free run",
+		"acceptance: at 10% loss all requests terminal, >=80% with coverage, accuracy degrades smoothly")
+	res.Tables = append(res.Tables, t1)
+
+	// Sweep 2: the full fault soup — crashes, store errors, stalls — to
+	// show the control plane machinery (leases, retries, deadlines)
+	// holding the line rather than a single fault type.
+	fc := faults.Config{
+		Seed:            cfg.Seed + 177,
+		PutFailProb:     0.15,
+		InsertFailProb:  0.15,
+		SessionLossProb: 0.10,
+		CorruptProb:     0.05,
+		TruncateProb:    0.05,
+		StallProb:       0.10,
+		CrashMTBF:       4 * simtime.Second,
+		CrashDowntime:   1 * simtime.Second,
+	}
+	run, _, err := runResilienceLevel(cfg, fc, ref)
+	if err != nil {
+		return nil, err
+	}
+	t2 := &tabular.Table{
+		Title:  "Mixed-fault stress (crashes + store errors + stalls + 10% loss): control-plane counters",
+		Header: []string{"counter", "value"},
+	}
+	t2.AddRow("requests terminal", fmt.Sprintf("%d/%d", run.terminal, run.requests))
+	t2.AddRow("requests with coverage", fmt.Sprintf("%d/%d", run.covered, run.requests))
+	t2.AddRow("mean coverage fraction", fmt.Sprintf("%.2f", run.coverage))
+	t2.AddRow("decoded accuracy", fmt.Sprintf("%.3f", run.accuracy))
+	t2.AddRow("store retries", fmt.Sprintf("%d", run.retries))
+	t2.AddRow("sessions re-sampled", fmt.Sprintf("%d", run.resamples))
+	t2.Notes = append(t2.Notes,
+		"every fault decision is seeded and keyed by stable identifiers: reruns inject the identical schedule")
+	res.Tables = append(res.Tables, t2)
+	res.Metric("terminal_frac_mixed", frac(run.terminal, run.requests))
+	res.Metric("covered_frac_mixed", frac(run.covered, run.requests))
+	res.Metric("retries_mixed", float64(run.retries))
+	return res, nil
+}
+
+// frac returns a/b as a fraction (0 when b is 0).
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

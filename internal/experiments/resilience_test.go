@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestResilienceAcceptance pins the robustness acceptance bar: at a 10%
+// injected session-loss rate every TraceRequest reaches a terminal phase,
+// at least 80% of requests land with (possibly partial) coverage, and
+// decoded accuracy falls smoothly with the fault rate rather than
+// collapsing.
+func TestResilienceAcceptance(t *testing.T) {
+	e, err := ByID("resilience")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+
+	m := res.Metrics
+	if m["terminal_frac_loss10"] != 1 {
+		t.Errorf("terminal fraction at 10%% loss = %v, want 1 (no hangs)", m["terminal_frac_loss10"])
+	}
+	if m["covered_frac_loss10"] < 0.8 {
+		t.Errorf("covered fraction at 10%% loss = %v, want >= 0.8", m["covered_frac_loss10"])
+	}
+	if m["terminal_frac_mixed"] != 1 {
+		t.Errorf("terminal fraction under mixed faults = %v, want 1", m["terminal_frac_mixed"])
+	}
+	// Smooth degradation: accuracy ordered with fault rate, no cliff.
+	a0, a10, a30 := m["accuracy_loss0"], m["accuracy_loss10"], m["accuracy_loss30"]
+	if a0 < 0.999 {
+		t.Errorf("fault-free accuracy = %v", a0)
+	}
+	const tol = 0.03
+	if a10 > a0+tol || a30 > a10+tol {
+		t.Errorf("accuracy not degrading with fault rate: %v / %v / %v", a0, a10, a30)
+	}
+	if a30 < 0.5 {
+		t.Errorf("accuracy collapsed at 30%% loss: %v", a30)
+	}
+	// Coverage shrinks as losses exceed what re-sampling can recover.
+	if m["coverage_loss30"] >= m["coverage_loss0"] {
+		t.Errorf("coverage did not degrade: %v vs %v", m["coverage_loss30"], m["coverage_loss0"])
+	}
+}

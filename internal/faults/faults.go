@@ -1,0 +1,298 @@
+// Package faults is the deterministic fault-injection subsystem used to
+// harden and evaluate EXIST's cluster control plane. Real shared
+// datacenters treat partial data loss and component failure as the normal
+// case: object-store puts time out, nodes crash mid-window, controllers
+// stall, and session buffers arrive corrupted or truncated. The injector
+// models all of these as seeded, reproducible decisions so resilience
+// experiments are exactly repeatable.
+//
+// Determinism contract: every decision is drawn from a splittable stream
+// keyed by the injector seed plus a *stable identifier* (object key,
+// session ID, node name, attempt counter) — never by call order. Two runs
+// with the same seed and the same identifiers inject the identical fault
+// schedule regardless of event interleaving, and an injector left nil (or
+// a zero Config) injects nothing at all: fault injection is strictly
+// opt-in.
+package faults
+
+import (
+	"fmt"
+
+	"exist/internal/simtime"
+	"exist/internal/xrand"
+)
+
+// Config parameterizes an Injector. The zero value injects no faults.
+type Config struct {
+	// Seed drives all fault randomness (independent of workload seeds).
+	Seed uint64
+
+	// PutFailProb is the per-attempt probability that an object-store
+	// Put fails with a transient error (upload timeout / 5xx class).
+	PutFailProb float64
+	// InsertFailProb is the per-attempt probability that a structured
+	// store Insert fails transiently.
+	InsertFailProb float64
+
+	// SessionLossProb is the per-session probability that a completed
+	// window's data is lost outright (node reset between capture and
+	// upload) — the session must be re-sampled elsewhere or given up.
+	SessionLossProb float64
+	// CorruptProb is the per-session probability that the raw buffers
+	// arrive bit-flipped.
+	CorruptProb float64
+	// CorruptBits is how many bit flips a corrupted session suffers per
+	// core buffer (default 8).
+	CorruptBits int
+	// TruncateProb is the per-session probability that a core buffer's
+	// tail is chopped (partial upload).
+	TruncateProb float64
+	// TruncateFracMax bounds the chopped fraction (default 0.5: up to
+	// half the buffer tail is lost).
+	TruncateFracMax float64
+
+	// StallProb is the per-iteration probability that a controller
+	// reconcile loop stalls and does no work (management pod CPU
+	// starvation under cluster pressure).
+	StallProb float64
+
+	// CrashMTBF, when nonzero, gives each node an exponentially
+	// distributed mean time between crashes. A crashed node stops
+	// heartbeating, loses every in-flight session, and restarts after
+	// CrashDowntime.
+	CrashMTBF simtime.Duration
+	// CrashDowntime is how long a crashed node stays down (default 1 s).
+	CrashDowntime simtime.Duration
+}
+
+// Stats counts injected faults, for experiment reporting.
+type Stats struct {
+	// PutFailures and InsertFailures count injected store errors.
+	PutFailures, InsertFailures int64
+	// SessionsLost counts sessions whose data was destroyed.
+	SessionsLost int64
+	// SessionsCorrupted and SessionsTruncated count buffer mutations.
+	SessionsCorrupted, SessionsTruncated int64
+	// Stalls counts skipped reconcile iterations.
+	Stalls int64
+	// Crashes counts node crash events.
+	Crashes int64
+}
+
+// Fate is the injector's verdict on one completed session's data.
+type Fate int
+
+const (
+	// FateHealthy: the session survives intact.
+	FateHealthy Fate = iota
+	// FateLost: the session's data is destroyed; the control plane must
+	// re-sample or degrade.
+	FateLost
+	// FateCorrupted: the buffers arrive with flipped bits.
+	FateCorrupted
+	// FateTruncated: the buffers arrive with their tails chopped.
+	FateTruncated
+)
+
+// String names a fate.
+func (f Fate) String() string {
+	switch f {
+	case FateHealthy:
+		return "healthy"
+	case FateLost:
+		return "lost"
+	case FateCorrupted:
+		return "corrupted"
+	case FateTruncated:
+		return "truncated"
+	default:
+		return "?"
+	}
+}
+
+// Injector makes seeded fault decisions. A nil *Injector is valid and
+// injects nothing, so callers never need to branch on enablement.
+type Injector struct {
+	cfg   Config
+	stats Stats
+}
+
+// New returns an injector for the config.
+func New(cfg Config) *Injector {
+	if cfg.CorruptBits <= 0 {
+		cfg.CorruptBits = 8
+	}
+	if cfg.TruncateFracMax <= 0 || cfg.TruncateFracMax > 1 {
+		cfg.TruncateFracMax = 0.5
+	}
+	if cfg.CrashDowntime <= 0 {
+		cfg.CrashDowntime = 1 * simtime.Second
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Stats returns the injected-fault counters so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// draw returns the per-decision stream for a stable identifier.
+func (in *Injector) draw(kind, id string) *xrand.Rand {
+	return xrand.Split(in.cfg.Seed, "faults/"+kind+"/"+id)
+}
+
+// PutError decides whether one object-store Put attempt fails. The
+// decision is keyed by key and attempt number, so a retried Put sees an
+// independent (but reproducible) draw each attempt.
+func (in *Injector) PutError(key string, attempt int) error {
+	if in == nil || in.cfg.PutFailProb <= 0 {
+		return nil
+	}
+	if in.draw("put", fmt.Sprintf("%s#%d", key, attempt)).Bool(in.cfg.PutFailProb) {
+		in.stats.PutFailures++
+		return fmt.Errorf("faults: transient object-store error on %q (attempt %d)", key, attempt)
+	}
+	return nil
+}
+
+// InsertError decides whether one structured-store Insert attempt fails.
+func (in *Injector) InsertError(batch string, attempt int) error {
+	if in == nil || in.cfg.InsertFailProb <= 0 {
+		return nil
+	}
+	if in.draw("insert", fmt.Sprintf("%s#%d", batch, attempt)).Bool(in.cfg.InsertFailProb) {
+		in.stats.InsertFailures++
+		return fmt.Errorf("faults: transient structured-store error on %q (attempt %d)", batch, attempt)
+	}
+	return nil
+}
+
+// SessionFate decides what happens to one completed session's data,
+// keyed by session ID. At most one fate applies per session; loss
+// dominates corruption dominates truncation.
+func (in *Injector) SessionFate(sessionID string) Fate {
+	if in == nil {
+		return FateHealthy
+	}
+	rng := in.draw("session", sessionID)
+	// Independent draws in a fixed order keep each probability marginal.
+	lost := rng.Bool(in.cfg.SessionLossProb)
+	corrupt := rng.Bool(in.cfg.CorruptProb)
+	truncate := rng.Bool(in.cfg.TruncateProb)
+	switch {
+	case lost:
+		in.stats.SessionsLost++
+		return FateLost
+	case corrupt:
+		in.stats.SessionsCorrupted++
+		return FateCorrupted
+	case truncate:
+		in.stats.SessionsTruncated++
+		return FateTruncated
+	default:
+		return FateHealthy
+	}
+}
+
+// StallReconcile decides whether the n-th reconcile iteration stalls.
+func (in *Injector) StallReconcile(n int64) bool {
+	if in == nil || in.cfg.StallProb <= 0 {
+		return false
+	}
+	if in.draw("stall", fmt.Sprintf("%d", n)).Bool(in.cfg.StallProb) {
+		in.stats.Stalls++
+		return true
+	}
+	return false
+}
+
+// NextCrash returns the delay until a node's k-th crash, drawn from the
+// configured MTBF, and ok=false when crash injection is disabled.
+func (in *Injector) NextCrash(node string, k int) (simtime.Duration, bool) {
+	if in == nil || in.cfg.CrashMTBF <= 0 {
+		return 0, false
+	}
+	d := in.draw("crash", fmt.Sprintf("%s#%d", node, k)).Exp(float64(in.cfg.CrashMTBF))
+	if d < float64(simtime.Millisecond) {
+		d = float64(simtime.Millisecond)
+	}
+	return simtime.Duration(d), true
+}
+
+// CountCrash records one node crash event.
+func (in *Injector) CountCrash() {
+	if in != nil {
+		in.stats.Crashes++
+	}
+}
+
+// CorruptBuffer flips the configured number of bits in data in place,
+// keyed by id. It returns the number of bits flipped.
+func (in *Injector) CorruptBuffer(id string, data []byte) int {
+	if in == nil || len(data) == 0 {
+		return 0
+	}
+	return FlipBits(data, in.cfg.CorruptBits, in.cfg.Seed^hash(id))
+}
+
+// TruncateBuffer chops a seeded fraction of data's tail, keyed by id,
+// returning the shortened slice.
+func (in *Injector) TruncateBuffer(id string, data []byte) []byte {
+	if in == nil || len(data) == 0 {
+		return data
+	}
+	frac := in.draw("truncfrac", id).Float64() * in.cfg.TruncateFracMax
+	return Truncate(data, frac)
+}
+
+// FlipBits flips n uniformly chosen bits of data in place using the given
+// seed, returning the number of flips. It is exported for corruption
+// table tests.
+func FlipBits(data []byte, n int, seed uint64) int {
+	if len(data) == 0 || n <= 0 {
+		return 0
+	}
+	rng := xrand.Split(seed, "faults/flip")
+	for i := 0; i < n; i++ {
+		bit := rng.Int64N(int64(len(data)) * 8)
+		data[bit/8] ^= 1 << uint(bit%8)
+	}
+	return n
+}
+
+// Truncate returns data with the trailing frac (clamped to [0,1)) of its
+// bytes removed.
+func Truncate(data []byte, frac float64) []byte {
+	if frac <= 0 {
+		return data
+	}
+	if frac >= 1 {
+		frac = 0.999
+	}
+	keep := len(data) - int(float64(len(data))*frac)
+	if keep < 0 {
+		keep = 0
+	}
+	return data[:keep]
+}
+
+// hash derives a stable 64-bit value from a string (FNV-1a).
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

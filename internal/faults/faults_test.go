@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"testing"
+
+	"exist/internal/simtime"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if err := in.PutError("k", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.InsertError("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if f := in.SessionFate("s"); f != FateHealthy {
+		t.Fatalf("fate = %v", f)
+	}
+	if in.StallReconcile(1) {
+		t.Fatal("nil injector stalled")
+	}
+	if _, ok := in.NextCrash("n", 0); ok {
+		t.Fatal("nil injector crashed")
+	}
+	data := []byte{1, 2, 3}
+	if n := in.CorruptBuffer("s", data); n != 0 {
+		t.Fatalf("flips = %d", n)
+	}
+	if got := in.TruncateBuffer("s", data); len(got) != 3 {
+		t.Fatalf("truncated to %d", len(got))
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 7})
+	for i := 0; i < 200; i++ {
+		if err := in.PutError("sessions/x", i); err != nil {
+			t.Fatal(err)
+		}
+		if f := in.SessionFate("s"); f != FateHealthy {
+			t.Fatalf("fate = %v", f)
+		}
+		if in.StallReconcile(int64(i)) {
+			t.Fatal("stalled")
+		}
+	}
+}
+
+// TestDecisionsKeyedByIdentifierNotOrder is the determinism contract:
+// the same (seed, identifier) pair always yields the same decision, in
+// whatever order decisions are requested.
+func TestDecisionsKeyedByIdentifierNotOrder(t *testing.T) {
+	a := New(Config{Seed: 42, SessionLossProb: 0.3, CorruptProb: 0.3, PutFailProb: 0.5})
+	b := New(Config{Seed: 42, SessionLossProb: 0.3, CorruptProb: 0.3, PutFailProb: 0.5})
+
+	ids := []string{"r/node-0", "r/node-1", "r/node-2", "q/node-0", "q/node-5"}
+	forward := make(map[string]Fate)
+	for _, id := range ids {
+		forward[id] = a.SessionFate(id)
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		if got := b.SessionFate(ids[i]); got != forward[ids[i]] {
+			t.Fatalf("fate(%s) order-dependent: %v vs %v", ids[i], got, forward[ids[i]])
+		}
+	}
+
+	// Put decisions keyed by (key, attempt).
+	e1 := a.PutError("k", 3)
+	e2 := b.PutError("k", 3)
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("put decision differs: %v vs %v", e1, e2)
+	}
+}
+
+func TestFateRatesRoughlyMarginal(t *testing.T) {
+	in := New(Config{Seed: 9, SessionLossProb: 0.2})
+	lost := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		if in.SessionFate(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune(i))) == FateLost {
+			lost++
+		}
+	}
+	frac := float64(lost) / float64(n)
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("loss rate %.3f, want ~0.2", frac)
+	}
+	if got := in.Stats().SessionsLost; got != int64(lost) {
+		t.Fatalf("stats lost = %d, counted %d", got, lost)
+	}
+}
+
+func TestFlipBitsAndTruncate(t *testing.T) {
+	orig := make([]byte, 64)
+	data := append([]byte(nil), orig...)
+	if n := FlipBits(data, 5, 11); n != 5 {
+		t.Fatalf("flips = %d", n)
+	}
+	diff := 0
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			if (data[i]^orig[i])&(1<<uint(b)) != 0 {
+				diff++
+			}
+		}
+	}
+	// Flips can collide on the same bit; at least one must survive, at
+	// most five.
+	if diff < 1 || diff > 5 {
+		t.Fatalf("bit diff = %d", diff)
+	}
+	// Same seed, same flips.
+	again := append([]byte(nil), orig...)
+	FlipBits(again, 5, 11)
+	for i := range data {
+		if data[i] != again[i] {
+			t.Fatal("FlipBits not deterministic")
+		}
+	}
+
+	if got := Truncate(make([]byte, 100), 0.25); len(got) != 75 {
+		t.Fatalf("truncate kept %d", len(got))
+	}
+	if got := Truncate(make([]byte, 100), 0); len(got) != 100 {
+		t.Fatalf("zero truncate kept %d", len(got))
+	}
+	if got := Truncate(make([]byte, 10), 5); len(got) != 1 {
+		t.Fatalf("over-truncate kept %d", len(got))
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	in := New(Config{Seed: 3, CrashMTBF: 2 * simtime.Second})
+	d1, ok := in.NextCrash("node-0", 0)
+	if !ok || d1 < simtime.Millisecond {
+		t.Fatalf("crash delay %v ok=%v", d1, ok)
+	}
+	d2, _ := in.NextCrash("node-0", 0)
+	if d1 != d2 {
+		t.Fatalf("crash delay not stable: %v vs %v", d1, d2)
+	}
+	// Mean of many draws should be near the MTBF.
+	var sum simtime.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		d, _ := in.NextCrash("node-x", i)
+		sum += d
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 1.7e9 || mean > 2.3e9 {
+		t.Fatalf("mean crash delay %.3gns, want ~2e9", mean)
+	}
+}
+
+func TestFateString(t *testing.T) {
+	for f, want := range map[Fate]string{
+		FateHealthy: "healthy", FateLost: "lost",
+		FateCorrupted: "corrupted", FateTruncated: "truncated", Fate(9): "?",
+	} {
+		if f.String() != want {
+			t.Errorf("Fate(%d) = %q", int(f), f.String())
+		}
+	}
+}
