@@ -7,29 +7,43 @@
 //	existbench -run fig13,tab04      # run specific experiments
 //	existbench -all                  # run everything
 //	existbench -all -quick           # reduced durations (CI-sized)
+//	existbench -all -jobs 8          # run experiments on 8 workers
+//	existbench -all -benchjson out.json   # machine-readable timings
 //
 // Output is plain-text tables; each carries notes stating what the paper
-// reports for the same artifact.
+// reports for the same artifact. Stdout is byte-identical for any -jobs
+// value (timing lines go to stderr), so CI can diff parallel against
+// serial runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
+	"exist/internal/decode"
 	"exist/internal/experiments"
+	"exist/internal/hotbench"
+	"exist/internal/parallel"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		run   = flag.String("run", "", "comma-separated experiment IDs to run")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced durations and sweep sizes")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		run        = flag.String("run", "", "comma-separated experiment IDs to run")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced durations and sweep sizes")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		jobs       = flag.Int("jobs", 0, "worker count for experiment and sweep fan-out (0: GOMAXPROCS, 1: serial)")
+		benchJSON  = flag.String("benchjson", "", "write machine-readable wall times and hot-path benchmarks to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -41,50 +55,200 @@ func main() {
 		return
 	}
 
-	var ids []string
-	switch {
-	case *all:
-		for _, e := range experiments.All() {
-			ids = append(ids, e.ID)
-		}
-	case *run != "":
-		ids = strings.Split(*run, ",")
-	default:
-		fmt.Fprintln(os.Stderr, "existbench: nothing to do (use -list, -run or -all)")
+	ids, err := selectIDs(*all, *run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "existbench:", err)
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs}
+	start := time.Now()
+	reports := experiments.RunAll(cfg, ids)
+	total := time.Since(start)
+
 	failures := 0
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, err := experiments.ByID(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	for _, rep := range reports {
+		fmt.Printf("### %s — %s\n", rep.ID, rep.Title)
+		fmt.Printf("### paper: %s\n\n", rep.Paper)
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", rep.ID, rep.Err)
 			failures++
 			continue
 		}
-		fmt.Printf("### %s — %s\n", e.ID, e.Title)
-		fmt.Printf("### paper: %s\n\n", e.Paper)
-		start := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			failures++
-			continue
-		}
-		fmt.Print(res.Render())
-		if len(res.Metrics) > 0 {
-			names := res.SortedMetrics()
-			sort.Strings(names)
+		fmt.Print(rep.Result.Render())
+		if len(rep.Result.Metrics) > 0 {
 			fmt.Println("headline metrics:")
-			for _, n := range names {
-				fmt.Printf("  %-36s %.4g\n", n, res.Metrics[n])
+			for _, n := range rep.Result.SortedMetrics() {
+				fmt.Printf("  %-36s %.4g\n", n, rep.Result.Metrics[n])
 			}
 		}
-		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "%s completed in %v\n", rep.ID, rep.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "total wall time %v (%d experiments, jobs=%d)\n",
+		total.Round(time.Millisecond), len(reports), parallel.Workers(*jobs))
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, cfg, reports, total); err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			failures++
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
+		}
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectIDs resolves the -all/-run selection into a validated, deduplicated
+// ID list. Unknown or duplicate IDs fail before any experiment runs.
+func selectIDs(all bool, run string) ([]string, error) {
+	if all {
+		var ids []string
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+		return ids, nil
+	}
+	if run == "" {
+		return nil, fmt.Errorf("nothing to do (use -list, -run or -all)")
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, id := range strings.Split(run, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, err := experiments.ByID(id); err != nil {
+			return nil, err
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment IDs in -run %q", run)
+	}
+	return ids, nil
+}
+
+// benchResult is one hot-path microbenchmark measurement.
+type benchResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// prePRBaselines are the hot-path numbers measured at the commit before the
+// parallel-harness PR (same fixtures, -benchmem), recorded so regressions
+// and the optimization headroom stay visible — the same convention as the
+// publishedSOTA rows in Table 3.
+var prePRBaselines = map[string]benchResult{
+	"decode_hot": {NsPerOp: 22_900_000, AllocsPerOp: 1195, BytesPerOp: 15_402_504},
+	"encode_hot": {NsPerOp: 21_900_000, AllocsPerOp: 20, BytesPerOp: 67_111_138},
+}
+
+// writeBenchJSON emits per-experiment wall times plus freshly measured
+// hot-path microbenchmarks on the shared hotbench fixtures.
+func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.RunReport, total time.Duration) error {
+	type expTime struct {
+		ID     string  `json:"id"`
+		WallMS float64 `json:"wall_ms"`
+		Failed bool    `json:"failed,omitempty"`
+	}
+	out := struct {
+		Quick       bool                   `json:"quick"`
+		Seed        uint64                 `json:"seed"`
+		Jobs        int                    `json:"jobs"`
+		GOMAXPROCS  int                    `json:"gomaxprocs"`
+		Experiments []expTime              `json:"experiments"`
+		TotalWallMS float64                `json:"total_wall_ms"`
+		HotPaths    map[string]benchResult `json:"hot_paths"`
+		PrePR       map[string]benchResult `json:"pre_pr_baseline"`
+	}{
+		Quick:       cfg.Quick,
+		Seed:        cfg.Seed,
+		Jobs:        parallel.Workers(cfg.Jobs),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TotalWallMS: float64(total) / float64(time.Millisecond),
+		HotPaths:    map[string]benchResult{},
+		PrePR:       prePRBaselines,
+	}
+	for _, rep := range reports {
+		out.Experiments = append(out.Experiments, expTime{
+			ID: rep.ID, WallMS: float64(rep.Wall) / float64(time.Millisecond), Failed: rep.Err != nil,
+		})
+	}
+
+	const budget = 4_000_000
+	decProg := hotbench.Program(1)
+	decSess := hotbench.Session(decProg, 1, budget)
+	var decBytes int64
+	for _, c := range decSess.Cores {
+		decBytes += int64(len(c.Data))
+	}
+	out.HotPaths["decode_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(decBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			decode.Decode(decSess, decProg)
+		}
+	}))
+	encProg := hotbench.Program(2)
+	encBytes := hotbench.EncodeOnce(encProg, 2, budget)
+	out.HotPaths["encode_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(encBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hotbench.EncodeOnce(encProg, 2, budget)
+		}
+	}))
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func toBenchResult(r testing.BenchmarkResult) benchResult {
+	out := benchResult{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if sec := r.T.Seconds(); sec > 0 {
+		out.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / sec
+	}
+	return out
 }

@@ -18,6 +18,7 @@ package binary
 
 import (
 	"fmt"
+	"sync"
 
 	"exist/internal/xrand"
 )
@@ -250,18 +251,23 @@ type Program struct {
 	// stands in for the binary-size input of RCO's complexity model.
 	TextSize uint64
 
+	// The lookup indexes are built lazily under sync.Once so a shared
+	// *Program may be consumed by concurrent decoders (the parallel
+	// experiment harness does exactly that).
+	addrOnce   sync.Once
 	addrIndex  map[uint64]BlockID
+	entryOnce  sync.Once
 	entryIndex map[BlockID]int32
 }
 
 // BlockAt resolves a text address to the block starting there.
 func (p *Program) BlockAt(addr uint64) (BlockID, bool) {
-	if p.addrIndex == nil {
+	p.addrOnce.Do(func() {
 		p.addrIndex = make(map[uint64]BlockID, len(p.Blocks))
 		for i := range p.Blocks {
 			p.addrIndex[p.Blocks[i].Addr] = BlockID(i)
 		}
-	}
+	})
 	id, ok := p.addrIndex[addr]
 	return id, ok
 }
@@ -275,12 +281,12 @@ func (p *Program) FuncOf(id BlockID) *Func {
 // and if so which function. Trace consumers use it to build function
 // occurrence histograms from branch targets.
 func (p *Program) EntryFuncOf(id BlockID) (int32, bool) {
-	if p.entryIndex == nil {
+	p.entryOnce.Do(func() {
 		p.entryIndex = make(map[BlockID]int32, len(p.Funcs))
 		for i := range p.Funcs {
 			p.entryIndex[p.Funcs[i].Entry] = int32(i)
 		}
-	}
+	})
 	fn, ok := p.entryIndex[id]
 	return fn, ok
 }

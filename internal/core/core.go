@@ -365,6 +365,7 @@ func (s *Session) snapshot() *trace.Session {
 			Stopped:      topa.Stopped(),
 			DroppedBytes: topa.Dropped(),
 		})
+		topa.Release()
 	}
 	// Per-thread ablation buffers are appended as extra streams tagged
 	// with a synthetic core ID (they are not per-core).
@@ -381,6 +382,7 @@ func (s *Session) snapshot() *trace.Session {
 			Stopped:      buf.Stopped(),
 			DroppedBytes: buf.Dropped(),
 		})
+		buf.Release()
 	}
 	return out
 }

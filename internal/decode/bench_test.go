@@ -1,0 +1,32 @@
+package decode
+
+import (
+	"testing"
+
+	"exist/internal/hotbench"
+)
+
+// BenchmarkDecodeHot measures the decoder's hot path (packet parse, sidecar
+// lookup, CFG walk, segment re-serialization) on a realistic stream with
+// thread migrations. Run with -benchmem; the allocs/op trend is tracked in
+// BENCH_harness.json.
+func BenchmarkDecodeHot(b *testing.B) {
+	prog := hotbench.Program(1)
+	sess := hotbench.Session(prog, 1, 4_000_000)
+	var bytes int64
+	for _, c := range sess.Cores {
+		bytes += int64(len(c.Data))
+	}
+	// Pre-warm the program's lazy address/entry indexes so the benchmark
+	// measures steady-state decoding.
+	res := Decode(sess, prog)
+	if res.Events == 0 {
+		b.Fatal("fixture produced no events")
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(sess, prog)
+	}
+}

@@ -10,7 +10,9 @@
 package decode
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"exist/internal/binary"
@@ -96,15 +98,28 @@ type sidecarIndex struct {
 }
 
 func buildSidecar(log *kernel.SwitchLog) *sidecarIndex {
-	idx := &sidecarIndex{byCore: make(map[int32][]kernel.SwitchRecord)}
-	for _, r := range log.Records {
-		if r.Op == kernel.OpIn {
+	// Size each per-core slice exactly before filling: schedule-in records
+	// dominate the sidecar, and append-regrowth on them shows up in decode
+	// allocation profiles.
+	counts := make(map[int32]int)
+	for i := range log.Records {
+		if log.Records[i].Op == kernel.OpIn {
+			counts[log.Records[i].CPU]++
+		}
+	}
+	idx := &sidecarIndex{byCore: make(map[int32][]kernel.SwitchRecord, len(counts))}
+	for cpu, n := range counts {
+		idx.byCore[cpu] = make([]kernel.SwitchRecord, 0, n)
+	}
+	for i := range log.Records {
+		if r := log.Records[i]; r.Op == kernel.OpIn {
 			idx.byCore[r.CPU] = append(idx.byCore[r.CPU], r)
 		}
 	}
 	for cpu := range idx.byCore {
-		rs := idx.byCore[cpu]
-		sort.Slice(rs, func(i, j int) bool { return rs[i].TS < rs[j].TS })
+		slices.SortFunc(idx.byCore[cpu], func(a, b kernel.SwitchRecord) int {
+			return cmp.Compare(a.TS, b.TS)
+		})
 	}
 	return idx
 }
@@ -126,14 +141,14 @@ func (idx *sidecarIndex) tidAt(cpu int, ts simtime.Time) (int32, bool) {
 func Decode(s *trace.Session, prog *binary.Program) *Result {
 	res := newResult()
 	idx := buildSidecar(&s.Switches)
+	visits := make([]int64, len(prog.Blocks))
 	var segs []*segment
 	for i := range s.Cores {
-		segs = append(segs, decodeStream(res, prog, idx, s.Cores[i].Core, s.Cores[i].Data, s.Cores[i].Wrapped)...)
+		segs = append(segs, decodeStream(res, prog, idx, visits, s.Cores[i].Core, s.Cores[i].Data, s.Cores[i].Wrapped)...)
 	}
-	sort.SliceStable(segs, func(i, j int) bool { return segs[i].ts < segs[j].ts })
-	for _, sg := range segs {
-		res.ByThread[sg.tid] = append(res.ByThread[sg.tid], sg.events...)
-	}
+	flushVisits(res, prog, visits)
+	slices.SortStableFunc(segs, func(a, b *segment) int { return cmp.Compare(a.ts, b.ts) })
+	gatherByThread(res, segs)
 	return res
 }
 
@@ -141,23 +156,60 @@ func Decode(s *trace.Session, prog *binary.Program) *Result {
 // tests and tools).
 func DecodeStream(prog *binary.Program, log *kernel.SwitchLog, core int, data []byte) *Result {
 	res := newResult()
-	var idx *sidecarIndex
-	if log != nil {
-		idx = buildSidecar(log)
-	} else {
-		idx = buildSidecar(&kernel.SwitchLog{})
+	if log == nil {
+		log = &kernel.SwitchLog{}
 	}
-	for _, sg := range decodeStream(res, prog, idx, core, data, false) {
-		res.ByThread[sg.tid] = append(res.ByThread[sg.tid], sg.events...)
-	}
+	idx := buildSidecar(log)
+	visits := make([]int64, len(prog.Blocks))
+	segs := decodeStream(res, prog, idx, visits, core, data, false)
+	flushVisits(res, prog, visits)
+	gatherByThread(res, segs)
 	return res
 }
 
+// gatherByThread concatenates segment event ranges into exactly-sized
+// per-thread streams.
+func gatherByThread(res *Result, segs []*segment) {
+	counts := make(map[int32]int)
+	for _, sg := range segs {
+		counts[sg.tid] += len(sg.events)
+	}
+	for tid, n := range counts {
+		res.ByThread[tid] = make([]trace.Event, 0, n)
+	}
+	for _, sg := range segs {
+		res.ByThread[sg.tid] = append(res.ByThread[sg.tid], sg.events...)
+	}
+}
+
+// flushVisits folds the per-block visit counts into the aggregate
+// profiles. Deferring this from the per-visit fast path to one pass per
+// decode turns 17 additions per visited block into 17 per *distinct*
+// block.
+func flushVisits(res *Result, prog *binary.Program, visits []int64) {
+	for id, n := range visits {
+		if n == 0 {
+			continue
+		}
+		b := &prog.Blocks[id]
+		res.Blocks += n
+		res.CatHits[prog.Funcs[b.Func].Category] += n
+		for c := 0; c < binary.NumMemClasses; c++ {
+			for w := 0; w < 4; w++ {
+				res.MemOps[c][w] += n * int64(b.MemOps[c][w])
+			}
+		}
+	}
+}
+
 // segment is one contiguous traced span on one core, attributed to a
-// thread and anchored at its TIP.PGE timestamp.
+// thread and anchored at its TIP.PGE timestamp. Its events are a subrange
+// of the stream's shared event arena, materialized once the stream is
+// fully decoded (per-segment slices were a top allocation site).
 type segment struct {
 	tid    int32
 	ts     simtime.Time
+	start  int
 	events []trace.Event
 }
 
@@ -175,6 +227,7 @@ type decoder struct {
 	res     *Result
 	prog    *binary.Program
 	idx     *sidecarIndex
+	visits  []int64
 	core    int
 	tracing bool
 	cur     binary.BlockID
@@ -183,10 +236,15 @@ type decoder struct {
 	lastTSC simtime.Time
 	seg     *segment
 	segs    []*segment
+	// events is the stream's shared event arena; segments hold index
+	// ranges into it and are materialized as subslices once decoding ends
+	// (the arena may reallocate while growing).
+	events []trace.Event
 }
 
-func decodeStream(res *Result, prog *binary.Program, idx *sidecarIndex, core int, data []byte, wrapped bool) []*segment {
-	d := &decoder{res: res, prog: prog, idx: idx, core: core, tid: -1}
+func decodeStream(res *Result, prog *binary.Program, idx *sidecarIndex, visits []int64, core int, data []byte, wrapped bool) []*segment {
+	d := &decoder{res: res, prog: prog, idx: idx, visits: visits, core: core, tid: -1,
+		events: make([]trace.Event, 0, 1+len(data)/4)}
 	p := ipt.NewParser(data)
 	if wrapped {
 		// Ring-buffer output starts mid-stream: resynchronize at a PSB.
@@ -220,6 +278,14 @@ func decodeStream(res *Result, prog *binary.Program, idx *sidecarIndex, core int
 		d.packet(pkt)
 	}
 	res.BytesDecoded += int64(p.Pos())
+	// Materialize segment event ranges against the final arena.
+	for i, sg := range d.segs {
+		end := len(d.events)
+		if i+1 < len(d.segs) {
+			end = d.segs[i+1].start
+		}
+		sg.events = d.events[sg.start:end]
+	}
 	return d.segs
 }
 
@@ -250,7 +316,7 @@ func (d *decoder) packet(pkt ipt.Packet) {
 		} else {
 			d.tid = -1
 		}
-		d.seg = &segment{tid: d.tid, ts: d.lastTSC}
+		d.seg = &segment{tid: d.tid, ts: d.lastTSC, start: len(d.events)}
 		d.segs = append(d.segs, d.seg)
 	case ipt.PktTIPPGD:
 		d.tracing = false
@@ -344,16 +410,10 @@ func (d *decoder) consumeTIP(ip uint64) {
 	d.cur = target
 }
 
-// visit accounts one decoded block.
+// visit accounts one decoded block. The aggregate profiles are folded in
+// once per decode by flushVisits; the fast path is a single counter bump.
 func (d *decoder) visit(id binary.BlockID) {
-	b := &d.prog.Blocks[id]
-	d.res.Blocks++
-	d.res.CatHits[d.prog.Funcs[b.Func].Category]++
-	for c := 0; c < binary.NumMemClasses; c++ {
-		for w := 0; w < 4; w++ {
-			d.res.MemOps[c][w] += int64(b.MemOps[c][w])
-		}
-	}
+	d.visits[id]++
 }
 
 // emit records one reconstructed event into the current segment, counting
@@ -362,10 +422,10 @@ func (d *decoder) visit(id binary.BlockID) {
 // swamp the histogram with the loop head).
 func (d *decoder) emit(ev trace.Event) {
 	if d.seg == nil {
-		d.seg = &segment{tid: d.tid, ts: d.lastTSC}
+		d.seg = &segment{tid: d.tid, ts: d.lastTSC, start: len(d.events)}
 		d.segs = append(d.segs, d.seg)
 	}
-	d.seg.events = append(d.seg.events, ev)
+	d.events = append(d.events, ev)
 	d.res.Events++
 	if ev.Kind == binary.TermIndirectCall {
 		if fn, ok := d.prog.EntryFuncOf(ev.Target); ok {

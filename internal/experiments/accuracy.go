@@ -11,6 +11,7 @@ import (
 	"exist/internal/kernel"
 	"exist/internal/memalloc"
 	"exist/internal/metrics"
+	"exist/internal/parallel"
 	"exist/internal/sched"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
@@ -176,13 +177,19 @@ func runFig18(cfg Config) (*Result, error) {
 		Title:  "Figure 18: accuracy on real-world applications (Wall's weight matching vs NHT reference)",
 		Header: []string{"app", "period", "accuracy", "function ratio (EXIST/NHT)"},
 	}
+	// Flatten the (app, period) grid: each cell's seed depends only on the
+	// app index, so cells fan out freely.
+	pairs, err := parallel.MapErr(len(apps)*len(periods), cfg.Jobs, func(i int) (accuracyPair, error) {
+		ai, pi := i/len(periods), i%len(periods)
+		return runAccuracyPair(cfg, apps[ai], periods[pi], 0, uint64(1800+ai*13))
+	})
+	if err != nil {
+		return nil, err
+	}
 	perPeriod := map[simtime.Duration]float64{}
 	for ai, app := range apps {
-		for _, period := range periods {
-			pr, err := runAccuracyPair(cfg, app, period, 0, uint64(1800+ai*13))
-			if err != nil {
-				return nil, err
-			}
+		for pi, period := range periods {
+			pr := pairs[ai*len(periods)+pi]
 			t.AddRow(app.Name, period.String(), pct(pr.accuracy), pct(pr.funcRatio))
 			perPeriod[period] += pr.accuracy / float64(len(apps))
 			res.Metric(fmt.Sprintf("acc_%s_%s", app.Name, period), pr.accuracy)
@@ -213,12 +220,16 @@ func runFig19(cfg Config) (*Result, error) {
 		Title:  "Figure 19: core sampling on CPU-share Search2 — accuracy vs space",
 		Header: []string{"period", "sample ratio", "accuracy", "space ratio (EXIST/NHT)", "function ratio"},
 	}
-	for _, period := range periods {
-		for _, r := range ratios {
-			pr, err := runAccuracyPair(cfg, s2, period, r, 1900)
-			if err != nil {
-				return nil, err
-			}
+	pairs, err := parallel.MapErr(len(periods)*len(ratios), cfg.Jobs, func(i int) (accuracyPair, error) {
+		pi, ri := i/len(ratios), i%len(ratios)
+		return runAccuracyPair(cfg, s2, periods[pi], ratios[ri], 1900)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, period := range periods {
+		for ri, r := range ratios {
+			pr := pairs[pi*len(ratios)+ri]
 			spaceRatio := 0.0
 			if pr.refMB > 0 {
 				spaceRatio = pr.existMB / pr.refMB
@@ -262,24 +273,35 @@ func runFig20(cfg Config) (*Result, error) {
 		Title:  "Figure 20: accuracy under cluster-level sampling and trace augmentation",
 		Header: header,
 	}
-	for _, period := range periods {
-		refSess, err := traceWindow(cfg, s1, prog, period, 1, 2099, true, 300*simtime.Millisecond)
-		if err != nil {
-			return nil, err
-		}
-		ref := decode.Decode(refSess, prog)
-
-		// Decode every worker's session once; prefixes give the k-curves.
-		var perWorker []*decode.Result
-		for w := 0; w < maxWorkers; w++ {
-			sess, err := traceWindow(cfg, s1, prog, period, 0, uint64(2000+w*17), false, 100*simtime.Millisecond)
+	type periodOut struct {
+		row  []string
+		accs []float64
+	}
+	// The reference and every worker window are independent runs; the shared
+	// prog is safe to decode concurrently (its lazy indexes build under
+	// sync.Once). Index 0 is the exhaustive reference, 1.. the workers.
+	outs, err := parallel.MapErr(len(periods), cfg.Jobs, func(pi int) (periodOut, error) {
+		period := periods[pi]
+		decoded, err := parallel.MapErr(maxWorkers+1, cfg.Jobs, func(i int) (*decode.Result, error) {
+			if i == 0 {
+				refSess, err := traceWindow(cfg, s1, prog, period, 1, 2099, true, 300*simtime.Millisecond)
+				if err != nil {
+					return nil, err
+				}
+				return decode.Decode(refSess, prog), nil
+			}
+			sess, err := traceWindow(cfg, s1, prog, period, 0, uint64(2000+(i-1)*17), false, 100*simtime.Millisecond)
 			if err != nil {
 				return nil, err
 			}
-			perWorker = append(perWorker, decode.Decode(sess, prog))
+			// Decode every worker's session once; prefixes give the k-curves.
+			return decode.Decode(sess, prog), nil
+		})
+		if err != nil {
+			return periodOut{}, err
 		}
-		row := []string{period.String()}
-		var first, last float64
+		ref, perWorker := decoded[0], decoded[1:]
+		out := periodOut{row: []string{period.String()}}
 		for _, k := range workers {
 			if k > len(perWorker) {
 				k = len(perWorker)
@@ -295,14 +317,26 @@ func runFig20(cfg Config) (*Result, error) {
 				merged := coverage.Merge(perWorker[:k])
 				acc = metrics.WeightMatch(ref.FuncEntries, merged.Merged.FuncEntries)
 			}
-			row = append(row, pct(acc))
+			out.row = append(out.row, pct(acc))
+			out.accs = append(out.accs, acc)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, period := range periods {
+		out := outs[pi]
+		var first, last float64
+		for ki, k := range workers {
+			acc := out.accs[ki]
 			if first == 0 {
 				first = acc
 			}
 			last = acc
 			res.Metric(fmt.Sprintf("acc_w%d_%s", k, period), acc)
 		}
-		t.AddRow(row...)
+		t.AddRow(out.row...)
 		res.Metric("improvement_"+period.String(), last-first)
 	}
 	t.Notes = append(t.Notes,
@@ -325,13 +359,15 @@ func runFig12(cfg Config) (*Result, error) {
 		n = 3
 	}
 	period := 50 * simtime.Millisecond
-	var results []*decode.Result
-	for w := 0; w < n; w++ {
+	results, err := parallel.MapErr(n, cfg.Jobs, func(w int) (*decode.Result, error) {
 		sess, err := traceWindow(cfg, s1, prog, period, 0, uint64(1200+w*29), false, 100*simtime.Millisecond)
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, decode.Decode(sess, prog))
+		return decode.Decode(sess, prog), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sim := coverage.SimilarityCurve(results)
 	cov := coverage.CoverageCurve(results, len(prog.Funcs))
@@ -408,11 +444,15 @@ func runAccBench(cfg Config) (*Result, error) {
 		Title:  "Section 5.3: exact-path accuracy vs ground truth on standard benchmarks",
 		Header: []string{"bench", "threads", "accuracy", "spurious", "decode errors"},
 	}
-	var avgSingle float64
-	var nSingle int
-	for wi, p := range workloads {
+	type benchOut struct {
+		skip     bool
+		row      []string
+		accuracy float64
+	}
+	outs, err := parallel.MapErr(len(workloads), cfg.Jobs, func(wi int) (benchOut, error) {
+		p := workloads[wi]
 		if cfg.Quick && wi%3 != 0 && p.Class == workload.Compute {
-			continue
+			return benchOut{skip: true}, nil
 		}
 		prog := p.Synthesize(cfg.Seed ^ 0xBE)
 		mcfg := sched.DefaultConfig()
@@ -427,7 +467,7 @@ func runAccBench(cfg Config) (*Result, error) {
 		// capture even CPU-bound targets at their next schedule-in.
 		noise, err := workload.ByName("Cache")
 		if err != nil {
-			return nil, err
+			return benchOut{}, err
 		}
 		noise.Install(m, workload.InstallOpts{Seed: mcfg.Seed + 3})
 		addHousekeeping(m, mcfg.Seed+91)
@@ -456,21 +496,35 @@ func runAccBench(cfg Config) (*Result, error) {
 		}
 		sess, err := ctrl.Trace(proc, ccfg)
 		if err != nil {
-			return nil, err
+			return benchOut{}, err
 		}
 		gt.Start, gt.End = m.Eng.Now(), m.Eng.Now()+period
 		m.Run(gt.End + 10*simtime.Millisecond)
 		sres, err := sess.Result()
 		if err != nil {
-			return nil, err
+			return benchOut{}, err
 		}
 		rec := decode.Decode(sres, prog)
 		score := metrics.PathAccuracy(gt.ByThread, rec.ByThread)
-		t.AddRow(p.Name, fmt.Sprintf("%d", p.Threads), pct(score.Accuracy),
-			fmt.Sprintf("%d", score.Spurious), fmt.Sprintf("%d", len(rec.Errors)))
-		res.Metric("acc_"+p.Name, score.Accuracy)
+		return benchOut{
+			row: []string{p.Name, fmt.Sprintf("%d", p.Threads), pct(score.Accuracy),
+				fmt.Sprintf("%d", score.Spurious), fmt.Sprintf("%d", len(rec.Errors))},
+			accuracy: score.Accuracy,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var avgSingle float64
+	var nSingle int
+	for wi, p := range workloads {
+		if outs[wi].skip {
+			continue
+		}
+		t.AddRow(outs[wi].row...)
+		res.Metric("acc_"+p.Name, outs[wi].accuracy)
 		if p.Threads == 1 {
-			avgSingle += score.Accuracy
+			avgSingle += outs[wi].accuracy
 			nSingle++
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"exist/internal/ipt"
 	"exist/internal/kernel"
 	"exist/internal/memalloc"
+	"exist/internal/parallel"
 	"exist/internal/sched"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
@@ -73,13 +74,16 @@ var categoryGroups = []struct {
 func runFig21(cfg Config) (*Result, error) {
 	apps := workload.CaseStudyApps()
 	res := &Result{ID: "fig21"}
+	decoded, err := parallel.MapErr(len(apps), cfg.Jobs, func(ai int) (*decode.Result, error) {
+		rec, _, err := caseStudyDecode(cfg, apps[ai], uint64(2100+ai*7))
+		return rec, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	results := make(map[string]*decode.Result, len(apps))
 	for ai, app := range apps {
-		rec, _, err := caseStudyDecode(cfg, app, uint64(2100+ai*7))
-		if err != nil {
-			return nil, err
-		}
-		results[app.Name] = rec
+		results[app.Name] = decoded[ai]
 	}
 	for _, group := range categoryGroups {
 		t := &tabular.Table{
@@ -126,16 +130,22 @@ func catNames(cats []binary.FuncCategory) []string {
 func runFig22(cfg Config) (*Result, error) {
 	apps := workload.CaseStudyApps()
 	res := &Result{ID: "fig22"}
+	// One trace+decode per app, shared by every memory-class panel (the
+	// per-app seed never depended on the class).
+	decoded, err := parallel.MapErr(len(apps), cfg.Jobs, func(ai int) (*decode.Result, error) {
+		rec, _, err := caseStudyDecode(cfg, apps[ai], uint64(2200+ai*7))
+		return rec, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for cls := 0; cls < binary.NumMemClasses; cls++ {
 		t := &tabular.Table{
 			Title:  fmt.Sprintf("Figure 22 (%s): access width distribution", binary.MemClass(cls)),
 			Header: []string{"app", "1B", "2B", "4B", "8B"},
 		}
 		for ai, app := range apps {
-			rec, _, err := caseStudyDecode(cfg, app, uint64(2200+ai*7))
-			if err != nil {
-				return nil, err
-			}
+			rec := decoded[ai]
 			var total int64
 			for w := 0; w < 4; w++ {
 				total += rec.MemOps[cls][w]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"exist/internal/metrics"
+	"exist/internal/parallel"
 	"exist/internal/service"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
@@ -41,8 +42,8 @@ func computeOverheads(cfg Config) (map[string]map[SchemeKind]float64, []workload
 		return nil, nil, err
 	}
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
-	out := make(map[string]map[SchemeKind]float64)
-	for _, p := range specs {
+	rows, err := parallel.MapErr(len(specs), cfg.Jobs, func(i int) (map[SchemeKind]float64, error) {
+		p := specs[i]
 		cores := p.CoresWanted
 		if cores < 1 {
 			cores = 1
@@ -64,14 +65,21 @@ func computeOverheads(cfg Config) (map[string]map[SchemeKind]float64, []workload
 
 		results, err := sweepSchemes(cfg, p, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		base := results[SchemeOracle]
 		row := make(map[SchemeKind]float64, len(ComparisonSchemes))
 		for _, s := range ComparisonSchemes {
 			row[s] = results[s].Overhead(base)
 		}
-		out[p.Name] = row
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]map[SchemeKind]float64, len(specs))
+	for i, p := range specs {
+		out[p.Name] = rows[i]
 	}
 	return out, specs, nil
 }
@@ -122,9 +130,9 @@ func runFig13(cfg Config) (*Result, error) {
 // overhead per scheme (stage 1 of Figure 14).
 func onlineNodeOverheads(cfg Config) (map[string]map[SchemeKind]float64, error) {
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
-	out := make(map[string]map[SchemeKind]float64)
-	for _, p := range workload.OnlineBenchmarks() {
-		results, err := sweepSchemes(cfg, p, nodeOpts{Cores: 8, Dur: dur, Seed: 17})
+	benches := workload.OnlineBenchmarks()
+	rows, err := parallel.MapErr(len(benches), cfg.Jobs, func(i int) (map[SchemeKind]float64, error) {
+		results, err := sweepSchemes(cfg, benches[i], nodeOpts{Cores: 8, Dur: dur, Seed: 17})
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +141,14 @@ func onlineNodeOverheads(cfg Config) (map[string]map[SchemeKind]float64, error) 
 		for _, s := range ComparisonSchemes {
 			row[s] = results[s].Inflation(base)
 		}
-		out[p.Name] = row
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[SchemeKind]float64, len(benches))
+	for i, p := range benches {
+		out[p.Name] = rows[i]
 	}
 	return out, nil
 }
@@ -182,10 +197,15 @@ func runFig14(cfg Config) (*Result, error) {
 	avgLoss := map[SchemeKind]float64{}
 	names := []string{"mc", "ng", "ms"}
 	closedThpt := func(bi int, ov []service.Overhead) float64 {
-		var sum float64
-		for rep := 0; rep < reps; rep++ {
+		// Each rep seeds from (bi, rep), so reps can run concurrently; the
+		// serial in-order sum keeps float accumulation identical.
+		thpts := parallel.Map(reps, cfg.Jobs, func(rep int) float64 {
 			spec := service.ComposePostChain(cfg.Seed + uint64(bi) + uint64(rep)*1013)
-			sum += service.RunClosedLoop(spec, 48, dur, ov).ThroughputRPS
+			return service.RunClosedLoop(spec, 48, dur, ov).ThroughputRPS
+		})
+		var sum float64
+		for _, t := range thpts {
+			sum += t
 		}
 		return sum / float64(reps)
 	}

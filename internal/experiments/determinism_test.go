@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelDeterminism verifies the harness's core contract: a sweep
+// experiment produces byte-identical tables and identical metrics whether
+// its cells run serially or on many workers.
+func TestParallelDeterminism(t *testing.T) {
+	e, err := ByID("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(jobs int) *Result {
+		res, err := e.Run(Config{Quick: true, Seed: 1, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return res
+	}
+	serial := runWith(1)
+	par := runWith(8)
+	if got, want := par.Render(), serial.Render(); got != want {
+		t.Errorf("rendered tables differ between jobs=1 and jobs=8:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if got, want := len(par.Metrics), len(serial.Metrics); got != want {
+		t.Fatalf("metric count differs: jobs=8 has %d, jobs=1 has %d", got, want)
+	}
+	for name, want := range serial.Metrics {
+		if got, ok := par.Metrics[name]; !ok || got != want {
+			t.Errorf("metric %s: jobs=8 %v, jobs=1 %v", name, got, want)
+		}
+	}
+}
+
+// TestRunAllOrderAndErrors checks that RunAll returns reports in input
+// order and isolates failures to their own report.
+func TestRunAllOrderAndErrors(t *testing.T) {
+	ids := []string{"fig11", "no-such-exp", "tab05"}
+	reports := RunAll(Config{Quick: true, Seed: 1, Jobs: 4}, ids)
+	if len(reports) != len(ids) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(ids))
+	}
+	for i, id := range ids {
+		if reports[i].ID != id {
+			t.Fatalf("report %d is %q, want %q", i, reports[i].ID, id)
+		}
+	}
+	if reports[1].Err == nil {
+		t.Error("unknown ID did not produce an error report")
+	}
+	for _, i := range []int{0, 2} {
+		if reports[i].Err != nil {
+			t.Errorf("%s failed: %v", reports[i].ID, reports[i].Err)
+		}
+		if reports[i].Result == nil {
+			t.Errorf("%s has no result", reports[i].ID)
+		}
+	}
+}

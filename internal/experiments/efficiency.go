@@ -6,6 +6,7 @@ import (
 	"exist/internal/cluster"
 	"exist/internal/core"
 	"exist/internal/coverage"
+	"exist/internal/parallel"
 	"exist/internal/service"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
@@ -47,49 +48,70 @@ func runFig15(cfg Config) (*Result, error) {
 		Title:  "Figure 15: tracing overhead on cloud applications (CPI overhead at low/high load, CPU-utilization increase)",
 		Header: []string{"app", "scheme", "CPI ovh (low)", "CPI ovh (high)", "util increase (pts)"},
 	}
-	var existUtilSum, existCnt float64
-	for ai, app := range apps {
+	schemes := []SchemeKind{SchemeEXIST, SchemeStaSam, SchemeEBPF, SchemeNHT}
+	type appOut struct {
+		rows         [][]string
+		existCPIHigh float64
+		existUtilPts float64
+	}
+	// Each (app, scheme, thread-count) cell seeds from the app index alone
+	// (paired comparisons need identical workload realizations), so the
+	// whole grid fans out; rows are assembled in app order below.
+	outs, err := parallel.MapErr(len(apps), cfg.Jobs, func(ai int) (appOut, error) {
+		app := apps[ai]
 		lowThreads := app.Threads / 4
 		if lowThreads < 1 {
 			lowThreads = 1
 		}
 		type pair struct{ cpi, util float64 }
-		measure := func(scheme SchemeKind, threads int) (pair, error) {
-			r, err := runNode(cfg, app, scheme, nodeOpts{
-				Cores: 8, Dur: dur, Seed: 1500 + uint64(ai), Threads: threads,
+		type cell struct {
+			scheme  SchemeKind
+			threads int
+		}
+		cells := []cell{{SchemeOracle, lowThreads}, {SchemeOracle, app.Threads}}
+		for _, s := range schemes {
+			cells = append(cells, cell{s, lowThreads}, cell{s, app.Threads})
+		}
+		pairs, err := parallel.MapErr(len(cells), cfg.Jobs, func(ci int) (pair, error) {
+			r, err := runNode(cfg, app, cells[ci].scheme, nodeOpts{
+				Cores: 8, Dur: dur, Seed: 1500 + uint64(ai), Threads: cells[ci].threads,
 			})
 			if err != nil {
 				return pair{}, err
 			}
 			return pair{cpi: r.CPI, util: r.UtilFrac}, nil
-		}
-		baseLow, err := measure(SchemeOracle, lowThreads)
+		})
 		if err != nil {
-			return nil, err
+			return appOut{}, err
 		}
-		baseHigh, err := measure(SchemeOracle, app.Threads)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range []SchemeKind{SchemeEXIST, SchemeStaSam, SchemeEBPF, SchemeNHT} {
-			low, err := measure(s, lowThreads)
-			if err != nil {
-				return nil, err
-			}
-			high, err := measure(s, app.Threads)
-			if err != nil {
-				return nil, err
-			}
+		baseLow, baseHigh := pairs[0], pairs[1]
+		var out appOut
+		for si, s := range schemes {
+			low, high := pairs[2+2*si], pairs[3+2*si]
 			cpiLow := low.cpi/baseLow.cpi - 1
 			cpiHigh := high.cpi/baseHigh.cpi - 1
 			utilPts := (high.util - baseHigh.util) * 100
-			t.AddRow(app.Name, s.String(), pct(cpiLow), pct(cpiHigh), fmt.Sprintf("%.2f", utilPts))
+			out.rows = append(out.rows, []string{
+				app.Name, s.String(), pct(cpiLow), pct(cpiHigh), fmt.Sprintf("%.2f", utilPts),
+			})
 			if s == SchemeEXIST {
-				existUtilSum += utilPts
-				existCnt++
-				res.Metric("exist_cpi_high_"+app.Name, cpiHigh)
+				out.existCPIHigh = cpiHigh
+				out.existUtilPts = utilPts
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var existUtilSum, existCnt float64
+	for ai, app := range apps {
+		for _, row := range outs[ai].rows {
+			t.AddRow(row...)
+		}
+		existUtilSum += outs[ai].existUtilPts
+		existCnt++
+		res.Metric("exist_cpi_high_"+app.Name, outs[ai].existCPIHigh)
 	}
 	t.Notes = append(t.Notes,
 		"paper: EXIST induces ~1.1% average utilization increase (2.4x/2.8x/12.2x better than baselines)",
@@ -177,37 +199,54 @@ func runTab04(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for wi, p := range workloads {
+	schemes := []SchemeKind{SchemeStaSam, SchemeEBPF, SchemeNHT, SchemeEXIST}
+	type wOut struct {
+		skip           bool
+		row            []string
+		existMB, nhtMB float64
+	}
+	outs, err := parallel.MapErr(len(workloads), cfg.Jobs, func(wi int) (wOut, error) {
+		p := workloads[wi]
 		if cfg.Quick && wi%3 != 0 && p.Class == workload.Compute {
-			continue // sample the suite in quick mode
+			return wOut{skip: true}, nil // sample the suite in quick mode
 		}
-		row := []string{p.Name}
-		var existMB, nhtMB float64
-		for _, s := range []SchemeKind{SchemeStaSam, SchemeEBPF, SchemeNHT, SchemeEXIST} {
-			// The profile's own thread count runs on four cores, with the
-			// node agent co-located: NHT's unfiltered tracers capture the
-			// co-runner too, while EXIST's CR3 filter excludes it.
-			r, err := runNode(cfg, p, s, nodeOpts{
+		// The profile's own thread count runs on four cores, with the
+		// node agent co-located: NHT's unfiltered tracers capture the
+		// co-runner too, while EXIST's CR3 filter excludes it.
+		rs, err := parallel.MapErr(len(schemes), cfg.Jobs, func(si int) (nodeResult, error) {
+			return runNode(cfg, p, schemes[si], nodeOpts{
 				Cores: 4, Dur: dur, Seed: 1700 + uint64(wi),
 				TargetCores:   []int{0, 1, 2, 3},
 				CoRunners:     []workload.Profile{agent},
 				CoRunnerCores: [][]int{{0, 1, 2, 3}},
 				MemBudget:     500 << 20,
 			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.1f", r.SpaceMB))
+		})
+		if err != nil {
+			return wOut{}, err
+		}
+		o := wOut{row: []string{p.Name}}
+		for si, s := range schemes {
+			o.row = append(o.row, fmt.Sprintf("%.1f", rs[si].SpaceMB))
 			switch s {
 			case SchemeEXIST:
-				existMB = r.SpaceMB
+				o.existMB = rs[si].SpaceMB
 			case SchemeNHT:
-				nhtMB = r.SpaceMB
+				o.nhtMB = rs[si].SpaceMB
 			}
 		}
-		t.AddRow(row...)
-		res.Metric("exist_mb_"+p.Name, existMB)
-		res.Metric("nht_mb_"+p.Name, nhtMB)
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, p := range workloads {
+		if outs[wi].skip {
+			continue
+		}
+		t.AddRow(outs[wi].row...)
+		res.Metric("exist_mb_"+p.Name, outs[wi].existMB)
+		res.Metric("nht_mb_"+p.Name, outs[wi].nhtMB)
 	}
 	t.Notes = append(t.Notes,
 		"StaSam stores sampled stacks and eBPF stores sys_enter records: small but non-chronological/instruction-blind",

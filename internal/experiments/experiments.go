@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"exist/internal/tabular"
 )
@@ -23,6 +24,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Jobs bounds the worker pool for sweep fan-out (<= 0 means
+	// GOMAXPROCS, 1 forces serial). Every cell derives its randomness
+	// from stable identifiers, so results are identical for any value.
+	Jobs int
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -49,11 +54,12 @@ func (r *Result) Metric(name string, v float64) {
 
 // Render draws all tables.
 func (r *Result) Render() string {
-	out := ""
+	var b strings.Builder
 	for _, t := range r.Tables {
-		out += t.Render() + "\n"
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
 	}
-	return out
+	return b.String()
 }
 
 // SortedMetrics returns metric names in order.

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"time"
+
+	"exist/internal/parallel"
+)
+
+// RunReport is one experiment's outcome as run by the harness.
+type RunReport struct {
+	// ID, Title, Paper echo the registry entry.
+	ID    string
+	Title string
+	Paper string
+	// Result is the experiment output (nil on error).
+	Result *Result
+	// Err is the failure, if any.
+	Err error
+	// Wall is the experiment's wall-clock runtime.
+	Wall time.Duration
+}
+
+// RunAll executes the named experiments — concurrently when cfg.Jobs allows
+// — and returns reports in input order. Output is identical for any job
+// count: every experiment derives randomness from cfg.Seed and stable cell
+// identifiers, never from scheduling. Unknown IDs surface as per-report
+// errors; validate up front with ByID to fail fast instead.
+func RunAll(cfg Config, ids []string) []RunReport {
+	return parallel.Map(len(ids), cfg.Jobs, func(i int) RunReport {
+		rep := RunReport{ID: ids[i]}
+		e, err := ByID(ids[i])
+		if err != nil {
+			rep.Err = err
+			return rep
+		}
+		rep.Title, rep.Paper = e.Title, e.Paper
+		start := time.Now()
+		rep.Result, rep.Err = e.Run(cfg)
+		rep.Wall = time.Since(start)
+		return rep
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"exist/internal/baselines"
 	"exist/internal/core"
 	"exist/internal/memalloc"
+	"exist/internal/parallel"
 	"exist/internal/sched"
 	"exist/internal/simtime"
 	"exist/internal/trace"
@@ -236,15 +237,23 @@ func runNode(cfg Config, p workload.Profile, scheme SchemeKind, opts nodeOpts) (
 }
 
 // sweepSchemes runs a workload under every comparison scheme with shared
-// options and returns results indexed by scheme.
+// options and returns results indexed by scheme. Schemes run concurrently
+// (each runNode builds its own machine; seeds never depend on run order).
 func sweepSchemes(cfg Config, p workload.Profile, opts nodeOpts) (map[SchemeKind]nodeResult, error) {
-	out := make(map[SchemeKind]nodeResult, len(ComparisonSchemes))
-	for _, s := range ComparisonSchemes {
+	results, err := parallel.MapErr(len(ComparisonSchemes), cfg.Jobs, func(i int) (nodeResult, error) {
+		s := ComparisonSchemes[i]
 		r, err := runNode(cfg, p, s, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s under %s: %w", p.Name, s, err)
+			return r, fmt.Errorf("%s under %s: %w", p.Name, s, err)
 		}
-		out[s] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[SchemeKind]nodeResult, len(ComparisonSchemes))
+	for i, s := range ComparisonSchemes {
+		out[s] = results[i]
 	}
 	return out, nil
 }

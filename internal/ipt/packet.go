@@ -248,9 +248,17 @@ func (p *Parser) Next() (pkt Packet, ok bool, err error) {
 		}
 		return Packet{Kind: PktMODE, Val: v}, true, nil
 	case b == hdrTIP || b == hdrTIPPGE || b == hdrTIPPGD || b == hdrFUP:
-		kind := map[byte]PacketKind{
-			hdrTIP: PktTIP, hdrTIPPGE: PktTIPPGE, hdrTIPPGD: PktTIPPGD, hdrFUP: PktFUP,
-		}[b]
+		var kind PacketKind
+		switch b {
+		case hdrTIP:
+			kind = PktTIP
+		case hdrTIPPGE:
+			kind = PktTIPPGE
+		case hdrTIPPGD:
+			kind = PktTIPPGD
+		case hdrFUP:
+			kind = PktFUP
+		}
 		v, err := p.payload(1, 6)
 		if err != nil {
 			return Packet{}, false, err

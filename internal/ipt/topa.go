@@ -1,5 +1,40 @@
 package ipt
 
+import (
+	"math/bits"
+	"sync"
+)
+
+// Region backing arrays are drawn from per-size-class pools so that
+// repeated tracing windows (sweep cells, benchmarks) reuse multi-megabyte
+// buffers instead of re-allocating them. Pool i holds *[]byte of capacity
+// exactly 1<<i; a request is rounded up to the next power of two.
+var regionPools [33]sync.Pool
+
+// getRegion returns an empty buffer whose capacity is the smallest power of
+// two >= size.
+func getRegion(size int) []byte {
+	c := bits.Len(uint(size - 1))
+	if c >= len(regionPools) {
+		return make([]byte, 0, size)
+	}
+	if p, _ := regionPools[c].Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 1<<c)
+}
+
+// putRegion returns a buffer obtained from getRegion to its pool. Buffers
+// with non-power-of-two capacity (oversize requests) are dropped.
+func putRegion(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 || bits.Len(uint(c))-1 >= len(regionPools) {
+		return
+	}
+	b = b[:0]
+	regionPools[bits.Len(uint(c))-1].Put(&b)
+}
+
 // ToPA models the Table of Physical Addresses output mechanism: a chain of
 // variable-sized memory regions that the tracer fills in order. Two end
 // behaviours exist, selected by the STOP bit of the last table entry:
@@ -12,12 +47,17 @@ package ipt
 //     output wraps to the first region, overwriting the oldest data.
 type ToPA struct {
 	regions [][]byte
-	cur     int
-	ring    bool
-	stopped bool
-	wrapped bool
-	written int64
-	dropped int64
+	// sizes holds each region's configured size. Pooled backing arrays
+	// may have more capacity than requested, so usable space is tracked
+	// against sizes, never cap.
+	sizes    []int
+	cur      int
+	ring     bool
+	stopped  bool
+	wrapped  bool
+	released bool
+	written  int64
+	dropped  int64
 }
 
 // NewToPA builds an output chain with the given region sizes in bytes. If
@@ -31,7 +71,8 @@ func NewToPA(sizes []int, ring bool) *ToPA {
 		if s <= 0 {
 			panic("ipt: ToPA region size must be positive")
 		}
-		t.regions = append(t.regions, make([]byte, 0, s))
+		t.regions = append(t.regions, getRegion(s))
+		t.sizes = append(t.sizes, s)
 	}
 	return t
 }
@@ -43,8 +84,8 @@ func NewSingleToPA(size int) *ToPA { return NewToPA([]int{size}, false) }
 // Capacity returns the total size of all regions.
 func (t *ToPA) Capacity() int64 {
 	var c int64
-	for _, r := range t.regions {
-		c += int64(cap(r))
+	for _, s := range t.sizes {
+		c += int64(s)
 	}
 	return c
 }
@@ -80,13 +121,13 @@ func (t *ToPA) Write(p []byte) bool {
 			return false
 		}
 		r := t.regions[t.cur]
-		space := cap(r) - len(r)
+		space := t.sizes[t.cur] - len(r)
 		if space == 0 {
 			if !t.advance() {
 				continue // stopped; loop records the drop
 			}
 			r = t.regions[t.cur]
-			space = cap(r) - len(r)
+			space = t.sizes[t.cur] - len(r)
 		}
 		n := len(p)
 		if n > space {
@@ -136,4 +177,19 @@ func (t *ToPA) Reset() {
 	t.cur = 0
 	t.stopped, t.wrapped = false, false
 	t.written, t.dropped = 0, 0
+}
+
+// Release returns the region backing arrays to the buffer pools. The chain
+// must not be written after release; call it once the trace has been copied
+// out with Bytes. Releasing twice is a no-op.
+func (t *ToPA) Release() {
+	if t == nil || t.released {
+		return
+	}
+	t.released = true
+	for i, r := range t.regions {
+		putRegion(r)
+		t.regions[i] = nil
+	}
+	t.regions = nil
 }

@@ -1,0 +1,105 @@
+// Package parallel provides the bounded, deterministic fan-out primitives
+// the experiment harness and sweep experiments use to exploit multicore
+// hosts without perturbing results.
+//
+// Determinism contract: work items are identified by index, results are
+// written to the index's slot, and aggregation happens in input order at
+// the call site — so output is byte-identical no matter how many workers
+// run or how the scheduler interleaves them. This only holds if each item
+// derives its randomness from stable identifiers (see xrand.Split), never
+// from call order; every experiment cell in this repo does.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a -jobs style request: n > 0 is taken as given, n <= 0
+// defaults to GOMAXPROCS (use every core the runtime will schedule on).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). Items are claimed dynamically, so
+// uneven item costs still fill all workers. It returns when every call
+// has finished. A panic in any item is re-raised in the caller after the
+// pool drains, so failures surface in the calling test or tool, not as an
+// orphan goroutine crash.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over [0, n) with bounded workers and returns the results in
+// input order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible work. All items run to completion; if any
+// failed, the error of the lowest-index failure is returned (a stable
+// choice, so error output does not depend on scheduling).
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -62,6 +62,19 @@ func FormatFloat(v float64) string {
 // Pct renders a fraction as a percentage string.
 func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", frac*100) }
 
+const spaces = "                                                                                                    " // 100
+
+// writePad writes n spaces without allocating for the common short case.
+func writePad(b *strings.Builder, n int) {
+	for n > len(spaces) {
+		b.WriteString(spaces)
+		n -= len(spaces)
+	}
+	if n > 0 {
+		b.WriteString(spaces[:n])
+	}
+}
+
 // Render draws the table.
 func (t *Table) Render() string {
 	var b strings.Builder
@@ -96,9 +109,9 @@ func (t *Table) Render() string {
 			if i == 0 {
 				// Left-align the first (label) column.
 				b.WriteString(c)
-				b.WriteString(strings.Repeat(" ", pad))
+				writePad(&b, pad)
 			} else {
-				b.WriteString(strings.Repeat(" ", pad))
+				writePad(&b, pad)
 				b.WriteString(c)
 			}
 		}
