@@ -78,3 +78,7 @@ func BenchmarkAblationHotSwap(b *testing.B)    { runExperiment(b, "ablation-hots
 // Robustness extension: control-plane resilience under injected faults.
 
 func BenchmarkResilience(b *testing.B) { runExperiment(b, "resilience") }
+
+// Data-path extension: v2 wire-format compression and batched uploads.
+
+func BenchmarkDatapath(b *testing.B) { runExperiment(b, "datapath") }

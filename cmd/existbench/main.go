@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"exist/internal/experiments"
 	"exist/internal/hotbench"
 	"exist/internal/parallel"
+	"exist/internal/trace"
 )
 
 func main() {
@@ -42,10 +44,21 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		jobs       = flag.Int("jobs", 0, "worker count for experiment and sweep fan-out (0: GOMAXPROCS, 1: serial)")
 		benchJSON  = flag.String("benchjson", "", "write machine-readable wall times and hot-path benchmarks to this file")
+		benchCheck = flag.String("benchcheck", "", "compare freshly measured hot paths against this baseline JSON and fail on regression")
+		benchTol   = flag.Float64("benchtol", 0.2, "relative tolerance for -benchcheck (0.2 = ±20%)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *benchCheck != "" {
+		if err := runBenchCheck(*benchCheck, *benchTol); err != nil {
+			fmt.Fprintln(os.Stderr, "existbench: bench regression:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bench check passed")
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -169,13 +182,146 @@ type benchResult struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 }
 
-// prePRBaselines are the hot-path numbers measured at the commit before the
-// parallel-harness PR (same fixtures, -benchmem), recorded so regressions
-// and the optimization headroom stay visible — the same convention as the
-// publishedSOTA rows in Table 3.
+// prePRBaselines are the hot-path numbers measured at the commit before
+// each optimization PR landed (same fixtures, -benchmem), recorded so
+// regressions and the optimization headroom stay visible — the same
+// convention as the publishedSOTA rows in Table 3. decode_hot/encode_hot
+// predate the parallel-harness PR; marshal_hot/unmarshal_hot are the
+// reflection-based (encoding/binary) v1 serializer before the v2 wire
+// format replaced it.
 var prePRBaselines = map[string]benchResult{
-	"decode_hot": {NsPerOp: 22_900_000, AllocsPerOp: 1195, BytesPerOp: 15_402_504},
-	"encode_hot": {NsPerOp: 21_900_000, AllocsPerOp: 20, BytesPerOp: 67_111_138},
+	"decode_hot":    {NsPerOp: 22_900_000, AllocsPerOp: 1195, BytesPerOp: 15_402_504},
+	"encode_hot":    {NsPerOp: 21_900_000, AllocsPerOp: 20, BytesPerOp: 67_111_138},
+	"marshal_hot":   {NsPerOp: 206_617, AllocsPerOp: 16, BytesPerOp: 1_159_471},
+	"unmarshal_hot": {NsPerOp: 102_445, AllocsPerOp: 32, BytesPerOp: 401_730},
+}
+
+// datapathStats records exact encoded sizes of the decode-hot fixture
+// session in each wire format.
+type datapathStats struct {
+	V1Bytes       int64   `json:"v1_bytes"`
+	V2RawBytes    int64   `json:"v2_raw_bytes"`
+	V2PackedBytes int64   `json:"v2_packed_bytes"`
+	PackedRatio   float64 `json:"packed_ratio"`
+}
+
+// measureHotPaths runs the hot-path microbenchmarks on the shared
+// hotbench fixtures and measures the wire-format sizes. marshal_hot and
+// unmarshal_hot are the throughput-optimized v2 raw mode (the *_packed
+// variants trade CPU for the wire-size win reported in datapath).
+func measureHotPaths() (map[string]benchResult, datapathStats) {
+	hot := map[string]benchResult{}
+	const budget = 4_000_000
+	decProg := hotbench.Program(1)
+	decSess := hotbench.Session(decProg, 1, budget)
+	var decBytes int64
+	for _, c := range decSess.Cores {
+		decBytes += int64(len(c.Data))
+	}
+	hot["decode_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(decBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			decode.Decode(decSess, decProg)
+		}
+	}))
+	encProg := hotbench.Program(2)
+	encBytes := hotbench.EncodeOnce(encProg, 2, budget)
+	hot["encode_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(encBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hotbench.EncodeOnce(encProg, 2, budget)
+		}
+	}))
+
+	// Wire-format hot paths, all normalized to v1-equivalent bytes so the
+	// MB/s columns compare like for like.
+	v1Bytes := int64(trace.V1Size(decSess))
+	bench := func(name string, fn func()) {
+		hot[name] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(v1Bytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		}))
+	}
+	bench("marshal_v1", func() { decSess.MarshalV1() })
+	bench("marshal_hot", func() { decSess.MarshalMode(trace.EncodeRaw) })
+	bench("marshal_hot_packed", func() { decSess.Marshal() })
+	v1Blob := decSess.MarshalV1()
+	rawBlob := decSess.MarshalMode(trace.EncodeRaw)
+	packedBlob := decSess.Marshal()
+	bench("unmarshal_v1", func() { trace.UnmarshalSession(v1Blob) })
+	bench("unmarshal_hot", func() { trace.UnmarshalSession(rawBlob) })
+	bench("unmarshal_hot_packed", func() { trace.UnmarshalSession(packedBlob) })
+
+	dp := datapathStats{
+		V1Bytes:       int64(len(v1Blob)),
+		V2RawBytes:    int64(len(rawBlob)),
+		V2PackedBytes: int64(len(packedBlob)),
+	}
+	dp.PackedRatio = float64(dp.V1Bytes) / float64(dp.V2PackedBytes)
+	return hot, dp
+}
+
+// benchFile is the serialized benchmark snapshot (BENCH_harness.json).
+type benchFile struct {
+	HotPaths map[string]benchResult `json:"hot_paths"`
+	Datapath *datapathStats         `json:"datapath,omitempty"`
+}
+
+// runBenchCheck re-measures the hot paths and fails if allocs/op or MB/s
+// regressed beyond tol against the recorded baseline, or if the packed
+// compression ratio dropped. Improvements always pass.
+func runBenchCheck(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	hot, dp := measureHotPaths()
+	var problems []string
+	names := make([]string, 0, len(base.HotPaths))
+	for name := range base.HotPaths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.HotPaths[name]
+		got, ok := hot[name]
+		if !ok {
+			continue // baseline knows a path this binary no longer measures
+		}
+		if float64(got.AllocsPerOp) > float64(want.AllocsPerOp)*(1+tol)+0.5 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+				name, got.AllocsPerOp, want.AllocsPerOp, tol*100))
+		}
+		if want.MBPerS > 0 && got.MBPerS < want.MBPerS*(1-tol) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.1f MB/s is more than %.0f%% below baseline %.1f MB/s",
+				name, got.MBPerS, tol*100, want.MBPerS))
+		}
+		fmt.Printf("%-22s %9.1f MB/s (baseline %9.1f)  %5d allocs/op (baseline %5d)\n",
+			name, got.MBPerS, want.MBPerS, got.AllocsPerOp, want.AllocsPerOp)
+	}
+	if base.Datapath != nil {
+		fmt.Printf("%-22s %9.2fx (baseline %9.2fx)\n", "packed_ratio", dp.PackedRatio, base.Datapath.PackedRatio)
+		if dp.PackedRatio < base.Datapath.PackedRatio*(1-tol) {
+			problems = append(problems, fmt.Sprintf(
+				"packed compression ratio %.2fx is more than %.0f%% below baseline %.2fx",
+				dp.PackedRatio, tol*100, base.Datapath.PackedRatio))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "; "))
+	}
+	return nil
 }
 
 // writeBenchJSON emits per-experiment wall times plus freshly measured
@@ -186,6 +332,7 @@ func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.R
 		WallMS float64 `json:"wall_ms"`
 		Failed bool    `json:"failed,omitempty"`
 	}
+	hot, dp := measureHotPaths()
 	out := struct {
 		Quick       bool                   `json:"quick"`
 		Seed        uint64                 `json:"seed"`
@@ -194,6 +341,7 @@ func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.R
 		Experiments []expTime              `json:"experiments"`
 		TotalWallMS float64                `json:"total_wall_ms"`
 		HotPaths    map[string]benchResult `json:"hot_paths"`
+		Datapath    datapathStats          `json:"datapath"`
 		PrePR       map[string]benchResult `json:"pre_pr_baseline"`
 	}{
 		Quick:       cfg.Quick,
@@ -201,7 +349,8 @@ func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.R
 		Jobs:        parallel.Workers(cfg.Jobs),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		TotalWallMS: float64(total) / float64(time.Millisecond),
-		HotPaths:    map[string]benchResult{},
+		HotPaths:    hot,
+		Datapath:    dp,
 		PrePR:       prePRBaselines,
 	}
 	for _, rep := range reports {
@@ -209,30 +358,6 @@ func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.R
 			ID: rep.ID, WallMS: float64(rep.Wall) / float64(time.Millisecond), Failed: rep.Err != nil,
 		})
 	}
-
-	const budget = 4_000_000
-	decProg := hotbench.Program(1)
-	decSess := hotbench.Session(decProg, 1, budget)
-	var decBytes int64
-	for _, c := range decSess.Cores {
-		decBytes += int64(len(c.Data))
-	}
-	out.HotPaths["decode_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
-		b.SetBytes(decBytes)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			decode.Decode(decSess, decProg)
-		}
-	}))
-	encProg := hotbench.Program(2)
-	encBytes := hotbench.EncodeOnce(encProg, 2, budget)
-	out.HotPaths["encode_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
-		b.SetBytes(encBytes)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			hotbench.EncodeOnce(encProg, 2, budget)
-		}
-	}))
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

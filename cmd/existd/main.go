@@ -98,7 +98,17 @@ func main() {
 		sess.Stats.EnabledCores, m.Stats.Switches)
 
 	if *dump != "" {
-		if err := os.WriteFile(*dump, result.Marshal(), 0o644); err != nil {
+		// Stream the v2 encoding block by block instead of marshaling the
+		// whole session into memory first; existdecode reads it back with
+		// the streaming decoder (v1 dumps from older builds still decode).
+		f, err := os.Create(*dump)
+		if err == nil {
+			err = result.EncodeTo(f, trace.EncodePacked)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "dump:", err)
 			os.Exit(1)
 		}

@@ -4,10 +4,15 @@
 // the workload's binary from its profile name and seed, since synthetic
 // binaries are deterministic in both.
 //
+// Sessions in either wire format decode transparently: the current v2
+// block framing is read as a stream, and legacy v1 dumps from older
+// builds still work.
+//
 // Usage:
 //
 //	existd -app mc -dump /tmp/mc.sess
 //	existdecode -app mc -seed 1 -in /tmp/mc.sess
+//	existdecode -app mc -seed 1 -in /tmp/mc.sess -stats -jobs 4
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "seed the binary was synthesized with")
 		in      = flag.String("in", "", "serialized session file")
 		top     = flag.Int("top", 10, "how many hottest functions to print")
+		stats   = flag.Bool("stats", false, "print wire-format statistics for the session")
+		jobs    = flag.Int("jobs", 1, "worker count for per-core parallel decode")
 	)
 	flag.Parse()
 	if *appName == "" || *in == "" {
@@ -38,12 +45,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	blob, err := os.ReadFile(*in)
+	f, err := os.Open(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sess, err := trace.UnmarshalSession(blob)
+	info, _ := f.Stat()
+	sess, err := trace.DecodeSessionFrom(f)
+	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unmarshal:", err)
 		os.Exit(1)
@@ -52,7 +61,27 @@ func main() {
 		sess.ID, sess.Workload, sess.Node, sess.Duration(), len(sess.Cores),
 		len(sess.Switches.Records), sess.SpaceMB())
 
+	if *stats {
+		wireBytes := int64(0)
+		if info != nil {
+			wireBytes = info.Size()
+		}
+		v1Bytes := int64(trace.V1Size(sess))
+		ratio := 0.0
+		if wireBytes > 0 {
+			ratio = float64(v1Bytes) / float64(wireBytes)
+		}
+		fmt.Printf("wire bytes:          %d\n", wireBytes)
+		fmt.Printf("v1-equivalent bytes: %d\n", v1Bytes)
+		fmt.Printf("compression ratio:   %.2fx\n", ratio)
+		for i := range sess.Cores {
+			c := &sess.Cores[i]
+			fmt.Printf("core %d: %d trace bytes, %d dropped (wrapped=%v stopped=%v)\n",
+				c.Core, len(c.Data), c.DroppedBytes, c.Wrapped, c.Stopped)
+		}
+	}
+
 	prog := p.Synthesize(*seed)
-	rec := decode.Decode(sess, prog)
+	rec := decode.DecodeParallel(sess, prog, *jobs)
 	fmt.Print(report.Build(rec, prog, sess, report.Options{TopFuncs: *top}))
 }

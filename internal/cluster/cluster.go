@@ -281,6 +281,13 @@ type Config struct {
 	// ResampleMax bounds replacement attempts per lost session slot
 	// (default 3).
 	ResampleMax int
+
+	// UploadBatch, when > 1, coalesces that many finished sessions into
+	// one object-store PUT, amortizing per-upload overhead; partially
+	// filled batches flush at the next reconcile. A batch retries as a
+	// unit with the same backoff as single uploads. 0 or 1 keeps the
+	// one-PUT-per-session behavior (and a bit-identical event timeline).
+	UploadBatch int
 }
 
 // DefaultConfig returns the paper's ten-node evaluation cluster.
@@ -321,15 +328,46 @@ type Cluster struct {
 	ODPS *DataStore
 	// Mgmt is the orchestration overhead ledger.
 	Mgmt MgmtStats
+	// Uploads is the data-path volume ledger.
+	Uploads UploadStats
 	// Binaries is the binary repository the decoder consults.
 	Binaries map[string]*binary.Program
 
-	profiles     map[string]workload.Profile
-	rng          *xrand.Rand
-	retryRNG     *xrand.Rand
-	resampleRNG  *xrand.Rand
-	inflight     map[*core.Session]*sessionRec
-	needResample []resampleItem
+	profiles      map[string]workload.Profile
+	rng           *xrand.Rand
+	retryRNG      *xrand.Rand
+	resampleRNG   *xrand.Rand
+	inflight      map[*core.Session]*sessionRec
+	needResample  []resampleItem
+	pendingUpload []uploadItem
+	batchSeq      int64
+}
+
+// UploadStats tracks what the data path ships to the object store:
+// sessions landed, PUT requests issued for them, bytes actually on the
+// wire (v2 encoding), and what the same sessions would have cost in the
+// v1 format — the compression ratio of the deployment is
+// V1Bytes/WireBytes.
+type UploadStats struct {
+	// Sessions is the number of session blobs successfully uploaded.
+	Sessions int64
+	// Batches is the number of successful PUT requests carrying them.
+	Batches int64
+	// WireBytes is the total encoded volume shipped.
+	WireBytes int64
+	// V1Bytes is the v1-equivalent volume of the same sessions.
+	V1Bytes int64
+}
+
+// uploadItem is one finished session waiting in the current upload batch.
+type uploadItem struct {
+	req  *TraceRequest
+	rec  *sessionRec
+	node *Node
+	sid  string
+	key  string
+	blob []byte
+	res  *trace.Session
 }
 
 // New builds a cluster with a shared engine and starts the controller
@@ -465,7 +503,7 @@ func (c *Cluster) Run(until simtime.Time) { c.Eng.RunUntil(until) }
 
 // scheduleReconcile arms the periodic controller loop.
 func (c *Cluster) scheduleReconcile() {
-	c.Eng.After(c.Cfg.ReconcileEvery, func(now simtime.Time) {
+	c.Eng.AfterDetached(c.Cfg.ReconcileEvery, func(now simtime.Time) {
 		c.reconcile(now)
 		c.scheduleReconcile()
 	})
@@ -474,7 +512,7 @@ func (c *Cluster) scheduleReconcile() {
 // scheduleHeartbeat arms one node's lease renewal loop. A down node skips
 // renewals, so its lease lapses and the controller detects the failure.
 func (c *Cluster) scheduleHeartbeat(n *Node) {
-	c.Eng.After(c.Cfg.HeartbeatEvery, func(now simtime.Time) {
+	c.Eng.AfterDetached(c.Cfg.HeartbeatEvery, func(now simtime.Time) {
 		if !n.Down {
 			n.LeaseUntil = now + c.Cfg.LeaseTTL
 		}
@@ -489,10 +527,10 @@ func (c *Cluster) scheduleCrash(n *Node) {
 	if !ok {
 		return
 	}
-	c.Eng.After(d, func(now simtime.Time) {
+	c.Eng.AfterDetached(d, func(now simtime.Time) {
 		n.crashes++
 		c.crashNode(n, now)
-		c.Eng.After(c.Cfg.Faults.Config().CrashDowntime, func(now simtime.Time) {
+		c.Eng.AfterDetached(c.Cfg.Faults.Config().CrashDowntime, func(now simtime.Time) {
 			n.Down = false
 			n.LeaseUntil = now + c.Cfg.LeaseTTL
 			c.scheduleCrash(n)
@@ -574,6 +612,10 @@ func (c *Cluster) reconcile(now simtime.Time) {
 			c.terminate(r, PhaseFailed, err.Error())
 		}
 	}
+
+	// Ship any partially filled upload batch so finished sessions never
+	// wait more than one reconcile period.
+	c.flushUploads()
 
 	c.processResamples(now)
 }
@@ -877,31 +919,120 @@ func (c *Cluster) finishSession(rec *sessionRec, s *core.Session) {
 		}
 	}
 
-	key := "sessions/" + s.Cfg.SessionID
-	blob := res.Marshal()
-	c.putWithRetry(r, key, blob, 0, func(ok bool) {
+	it := uploadItem{
+		req: r, rec: rec, node: n,
+		sid:  s.Cfg.SessionID,
+		key:  "sessions/" + s.Cfg.SessionID,
+		blob: res.Marshal(),
+		res:  res,
+	}
+	if c.Cfg.UploadBatch > 1 {
+		// Batched data path: hold the blob until the batch fills (or the
+		// next reconcile flushes the remainder).
+		c.pendingUpload = append(c.pendingUpload, it)
+		if len(c.pendingUpload) >= c.Cfg.UploadBatch {
+			c.flushUploads()
+		}
+		return
+	}
+	c.putWithRetry(r, it.key, it.blob, 0, func(ok bool) {
 		if !ok {
 			// Upload exhausted its retries: the data is gone; re-sample.
 			c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
 			return
 		}
-		r.SessionKeys = append(r.SessionKeys, key)
-		// Per-session management cost: upload bookkeeping and status update.
-		c.Mgmt.CPUSeconds += 100e-6
+		c.Uploads.Batches++
+		c.uploadLanded(it)
+	})
+}
 
-		// Decode against the binary repository and persist structured rows.
-		if prog, ok := c.Binaries[r.Spec.App]; ok {
-			dec := decode.Decode(res, prog)
-			rows := make([]Row, 0, len(dec.FuncEntries))
-			for fn, count := range dec.FuncEntries {
-				rows = append(rows, Row{
-					App: r.Spec.App, Node: n.Name, Session: s.Cfg.SessionID,
-					Key: prog.Funcs[fn].Name, Value: float64(count),
-				})
-			}
-			c.insertWithRetry(r, s.Cfg.SessionID, rows, 0)
+// uploadLanded runs the post-upload bookkeeping for one session whose
+// blob is safely in the object store: ledger, structured decode, and
+// slot completion. Shared by the single-PUT and batched paths.
+func (c *Cluster) uploadLanded(it uploadItem) {
+	r := it.req
+	r.SessionKeys = append(r.SessionKeys, it.key)
+	// Per-session management cost: upload bookkeeping and status update.
+	c.Mgmt.CPUSeconds += 100e-6
+	c.Uploads.Sessions++
+	c.Uploads.WireBytes += int64(len(it.blob))
+	c.Uploads.V1Bytes += int64(trace.V1Size(it.res))
+
+	// Decode against the binary repository and persist structured rows.
+	if prog, ok := c.Binaries[r.Spec.App]; ok {
+		dec := decode.Decode(it.res, prog)
+		rows := make([]Row, 0, len(dec.FuncEntries))
+		for fn, count := range dec.FuncEntries {
+			rows = append(rows, Row{
+				App: r.Spec.App, Node: it.node.Name, Session: it.sid,
+				Key: prog.Funcs[fn].Name, Value: float64(count),
+			})
 		}
-		c.sessionDone(r)
+		c.insertWithRetry(r, it.sid, rows, 0)
+	}
+	c.sessionDone(r)
+}
+
+// flushUploads ships the pending batch in one object-store PUT.
+func (c *Cluster) flushUploads() {
+	if len(c.pendingUpload) == 0 {
+		return
+	}
+	items := c.pendingUpload
+	c.pendingUpload = nil
+	c.batchSeq++
+	c.putBatchWithRetry(fmt.Sprintf("batch/%d", c.batchSeq), items, 0)
+}
+
+// putBatchWithRetry uploads a batch of session blobs as one atomic PUT
+// with the same backoff scheme as putWithRetry. The batch succeeds or
+// retries as a unit; sessions whose request reached a terminal phase
+// while the batch waited are dropped at delivery (exactly as a late
+// single-session retry abandons its upload), and when the batch exhausts
+// its retries every remaining session re-samples exactly once.
+func (c *Cluster) putBatchWithRetry(batchKey string, items []uploadItem, attempt int) {
+	live := items[:0]
+	for _, it := range items {
+		if !it.req.Phase.Terminal() {
+			live = append(live, it)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	keys := make([]string, len(live))
+	blobs := make([][]byte, len(live))
+	for i, it := range live {
+		keys[i] = it.key
+		blobs[i] = it.blob
+	}
+	err := c.OSS.PutBatch(batchKey, keys, blobs)
+	if err == nil {
+		c.Uploads.Batches++
+		for _, it := range live {
+			if attempt > 0 {
+				it.req.Message = ""
+			}
+			c.uploadLanded(it)
+		}
+		return
+	}
+	if attempt+1 >= c.Cfg.RetryMax {
+		for _, it := range live {
+			it.req.Message = fmt.Sprintf("upload %s failed after %d attempts: %v", it.key, attempt+1, err)
+			c.needResample = append(c.needResample, resampleItem{req: it.req, attempt: it.rec.attempt})
+		}
+		return
+	}
+	for _, it := range live {
+		if !it.req.Phase.Terminal() {
+			it.req.Message = fmt.Sprintf("%v; retrying", err)
+		}
+	}
+	c.Mgmt.Retries++
+	c.Mgmt.CPUSeconds += 50e-6
+	c.Eng.AfterDetached(c.backoff(attempt), func(simtime.Time) {
+		c.putBatchWithRetry(batchKey, live, attempt+1)
 	})
 }
 
@@ -929,7 +1060,7 @@ func (c *Cluster) putWithRetry(r *TraceRequest, key string, blob []byte, attempt
 	}
 	c.Mgmt.Retries++
 	c.Mgmt.CPUSeconds += 50e-6
-	c.Eng.After(c.backoff(attempt), func(simtime.Time) {
+	c.Eng.AfterDetached(c.backoff(attempt), func(simtime.Time) {
 		if r.Phase.Terminal() {
 			return
 		}
@@ -956,7 +1087,7 @@ func (c *Cluster) insertWithRetry(r *TraceRequest, batch string, rows []Row, att
 	}
 	c.Mgmt.Retries++
 	c.Mgmt.CPUSeconds += 50e-6
-	c.Eng.After(c.backoff(attempt), func(simtime.Time) {
+	c.Eng.AfterDetached(c.backoff(attempt), func(simtime.Time) {
 		c.insertWithRetry(r, batch, rows, attempt+1)
 	})
 }

@@ -50,6 +50,32 @@ func (o *ObjectStore) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutBatch stores several blobs in one upload: the batch succeeds or
+// fails atomically (one injected-fault roll, keyed by batchKey, covers
+// the whole request), counts as a single put in the upload ledger, and
+// each blob still lands under its own key. This is the wire-level
+// amortization behind Config.UploadBatch.
+func (o *ObjectStore) PutBatch(batchKey string, keys []string, blobs [][]byte) error {
+	if len(keys) != len(blobs) {
+		return fmt.Errorf("oss: PutBatch with %d keys, %d blobs", len(keys), len(blobs))
+	}
+	attempt := o.attempts[batchKey]
+	o.attempts[batchKey] = attempt + 1
+	if err := o.inj.PutError(batchKey, attempt); err != nil {
+		o.failures++
+		return err
+	}
+	for i, key := range keys {
+		if old, ok := o.blobs[key]; ok {
+			o.bytes -= int64(len(old))
+		}
+		o.blobs[key] = append([]byte(nil), blobs[i]...)
+		o.bytes += int64(len(blobs[i]))
+	}
+	o.puts++
+	return nil
+}
+
 // Get retrieves a blob.
 func (o *ObjectStore) Get(key string) ([]byte, bool) {
 	b, ok := o.blobs[key]

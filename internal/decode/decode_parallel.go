@@ -1,0 +1,60 @@
+package decode
+
+import (
+	"cmp"
+	"slices"
+
+	"exist/internal/binary"
+	"exist/internal/parallel"
+	"exist/internal/trace"
+)
+
+// DecodeParallel is Decode with the per-core packet streams decoded
+// concurrently on up to jobs workers. Cores are independent until the
+// final merge (each gets its own Result scratch and visit counters; the
+// sidecar index is shared read-only), and merging runs in core order, so
+// the output is identical to the serial Decode for any jobs value —
+// including Errors order, PTWrite stream order, and the per-thread event
+// streams.
+func DecodeParallel(s *trace.Session, prog *binary.Program, jobs int) *Result {
+	if jobs <= 1 || len(s.Cores) <= 1 {
+		return Decode(s, prog)
+	}
+	idx := buildSidecar(&s.Switches)
+	type coreOut struct {
+		res    *Result
+		visits []int64
+		segs   []*segment
+	}
+	outs := parallel.Map(len(s.Cores), jobs, func(i int) coreOut {
+		out := coreOut{res: newResult(), visits: make([]int64, len(prog.Blocks))}
+		out.segs = decodeStream(out.res, prog, idx, out.visits,
+			s.Cores[i].Core, s.Cores[i].Data, s.Cores[i].Wrapped)
+		return out
+	})
+
+	res := newResult()
+	visits := make([]int64, len(prog.Blocks))
+	var segs []*segment
+	for _, o := range outs {
+		// decodeStream touches only the additive aggregate fields plus
+		// the append-ordered Errors/PTWrites, so folding per-core results
+		// in core order reproduces the serial accumulation exactly.
+		for fn, n := range o.res.FuncEntries {
+			res.FuncEntries[fn] += n
+		}
+		res.Events += o.res.Events
+		res.BytesDecoded += o.res.BytesDecoded
+		res.Resyncs += o.res.Resyncs
+		res.Errors = append(res.Errors, o.res.Errors...)
+		res.PTWrites = append(res.PTWrites, o.res.PTWrites...)
+		for b, n := range o.visits {
+			visits[b] += n
+		}
+		segs = append(segs, o.segs...)
+	}
+	flushVisits(res, prog, visits)
+	slices.SortStableFunc(segs, func(a, b *segment) int { return cmp.Compare(a.ts, b.ts) })
+	gatherByThread(res, segs)
+	return res
+}

@@ -296,7 +296,10 @@ func runFig17(cfg Config) (*Result, error) {
 	mgmtCores := c.ManagementCores()
 	t.AddRow(fmt.Sprintf("RCO management CPU (%d nodes)", ccfg.Nodes), fmt.Sprintf("%.2e cores", mgmtCores))
 	t.AddRow("RCO management memory", fmt.Sprintf("%.0f MB", c.Mgmt.MemMB))
-	t.AddRow("trace sessions uploaded", fmt.Sprintf("%d (%.1f KB)", c.OSS.Puts(), float64(c.OSS.Bytes())/1024))
+	// Report v1-equivalent volume: the figure tracks how much trace data
+	// the deployment produced, independent of the wire encoding shipping
+	// it (Uploads.WireBytes is the compressed v2 volume actually stored).
+	t.AddRow("trace sessions uploaded", fmt.Sprintf("%d (%.1f KB)", c.OSS.Puts(), float64(c.Uploads.V1Bytes)/1024))
 	// Extrapolate to a thousand-node cluster: management grows with
 	// active requests, giving per-node cost.
 	perNode := mgmtCores / float64(ccfg.Nodes)

@@ -1,0 +1,186 @@
+package ipt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// synthStream builds a representative packet stream: PSB groups with
+// timestamps, then indirect-branch bursts (TNT + CYC + TIP) over a small
+// set of targets, interleaved PGE/PGD/PIP and trailing PAD runs.
+func synthStream(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]uint64, 32)
+	for i := range targets {
+		targets[i] = 0x400000 + uint64(rng.Intn(1<<20))
+	}
+	var b []byte
+	b = AppendPSB(b)
+	b = AppendTSC(b, 1000)
+	b = AppendPIP(b, 0x1234000)
+	b = AppendPSBEND(b)
+	tsc := uint64(1000)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			b = AppendPSB(b)
+			tsc += uint64(rng.Intn(5000))
+			b = AppendTSC(b, tsc)
+			b = AppendPSBEND(b)
+		case 1:
+			b = AppendTIP(b, PktTIPPGE, targets[rng.Intn(len(targets))])
+		case 2:
+			b = AppendTIP(b, PktTIPPGD, targets[rng.Intn(len(targets))])
+		case 3:
+			b = AppendMODE(b, byte(rng.Intn(4)))
+		case 4:
+			b = AppendPTW(b, uint64(rng.Intn(1<<30)))
+		case 5:
+			for j := rng.Intn(4); j > 0; j-- {
+				b = append(b, hdrPAD)
+			}
+		default:
+			n := 1 + rng.Intn(6)
+			b = AppendTNT(b, uint8(rng.Intn(1<<n)), n)
+			b = AppendCYC(b, uint32(rng.Intn(64)))
+			b = AppendTIP(b, PktTIP, targets[rng.Intn(len(targets))])
+		}
+	}
+	return b
+}
+
+func packRoundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	packed := PackStream(nil, data)
+	got, err := UnpackStream(nil, packed, len(data))
+	if err != nil {
+		t.Fatalf("UnpackStream: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip mismatch: %d bytes in, %d out", len(data), len(got))
+	}
+	return packed
+}
+
+func TestPackRoundTripSynthetic(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		data := synthStream(seed, 5000)
+		packed := packRoundTrip(t, data)
+		if len(packed) >= len(data) {
+			t.Errorf("seed %d: packed %d >= raw %d", seed, len(packed), len(data))
+		}
+	}
+}
+
+func TestPackRoundTripEmpty(t *testing.T) {
+	packed := packRoundTrip(t, nil)
+	if len(packed) != 0 {
+		t.Fatalf("empty stream packed to %d bytes", len(packed))
+	}
+}
+
+func TestPackRoundTripGarbage(t *testing.T) {
+	// Random bytes mostly do not parse as packets; the codec must fall
+	// back to raw chunks and still reproduce the input exactly.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, rng.Intn(4096))
+		rng.Read(data)
+		packRoundTrip(t, data)
+	}
+}
+
+func TestPackRoundTripTornHead(t *testing.T) {
+	// A wrapped ToPA buffer starts mid-packet: chop a synthetic stream at
+	// arbitrary offsets and check the torn prefix survives.
+	data := synthStream(7, 2000)
+	for _, cut := range []int{1, 3, 5, 17, 100, len(data)/2 + 1} {
+		packRoundTrip(t, data[cut:])
+	}
+}
+
+func TestPackRoundTripBitFlips(t *testing.T) {
+	data := synthStream(9, 500)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		mut := append([]byte(nil), data...)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		packRoundTrip(t, mut)
+	}
+}
+
+func TestUnpackRejectsLyingLength(t *testing.T) {
+	data := synthStream(11, 200)
+	packed := PackStream(nil, data)
+	if _, err := UnpackStream(nil, packed, len(data)+1); err == nil {
+		t.Error("oversized rawLen accepted")
+	}
+	if _, err := UnpackStream(nil, packed, len(data)-1); err == nil {
+		t.Error("undersized rawLen accepted")
+	}
+	if _, err := UnpackStream(nil, packed, -1); err == nil {
+		t.Error("negative rawLen accepted")
+	}
+	if _, err := UnpackStream(nil, packed, MaxUnpackedCoreBytes+1); err == nil {
+		t.Error("bomb-sized rawLen accepted")
+	}
+}
+
+func TestUnpackRejectsTruncated(t *testing.T) {
+	data := synthStream(13, 500)
+	packed := PackStream(nil, data)
+	for cut := 1; cut < len(packed); cut += 7 {
+		if _, err := UnpackStream(nil, packed[:cut], len(data)); err == nil {
+			t.Fatalf("truncated packed stream at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnpackHostileNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		buf := make([]byte, rng.Intn(512))
+		rng.Read(buf)
+		// Errors are fine; panics or unbounded output are not.
+		out, err := UnpackStream(nil, buf, 1<<16)
+		if err == nil && len(out) != 1<<16 {
+			t.Fatalf("no error but %d bytes produced", len(out))
+		}
+	}
+}
+
+func TestUnpackPADRunBombRejected(t *testing.T) {
+	// A PAD run claiming more than the declared size must error before
+	// materializing it.
+	packed := []byte{opPADRun, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := UnpackStream(nil, packed, 16); err == nil {
+		t.Fatal("oversized PAD run accepted")
+	}
+}
+
+func TestPackDictionaryReuse(t *testing.T) {
+	// Same target hit many times: every hit after the first must cost
+	// at most two bytes (op + 1-byte index) instead of seven.
+	var b []byte
+	for i := 0; i < 100; i++ {
+		b = AppendTIP(b, PktTIP, 0x400000)
+	}
+	packed := packRoundTrip(t, b)
+	if len(packed) > 2*100+8 {
+		t.Fatalf("dictionary not effective: %d packed bytes for %d raw", len(packed), len(b))
+	}
+}
+
+func TestPackFixtureCompression(t *testing.T) {
+	// The synthetic stream mirrors tracer output shape; the codec should
+	// get well under half size on it.
+	data := synthStream(1, 20000)
+	packed := packRoundTrip(t, data)
+	ratio := float64(len(data)) / float64(len(packed))
+	if ratio < 2 {
+		t.Fatalf("compression ratio %.2f < 2 (raw %d, packed %d)", ratio, len(data), len(packed))
+	}
+}

@@ -90,7 +90,7 @@ func (m *Machine) kickDispatch(c *Core, at simtime.Time) {
 		return
 	}
 	c.dispatchPending = true
-	m.Eng.Schedule(at, func(now simtime.Time) {
+	m.Eng.ScheduleDetached(at, func(now simtime.Time) {
 		c.dispatchPending = false
 		m.dispatch(c, now)
 	})
@@ -251,7 +251,7 @@ func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
 	t.Stats.Insns += res.Insns
 	t.Stats.Branches += res.Branches
 
-	m.Eng.Schedule(now+res.UsedNS+stall, func(end simtime.Time) {
+	m.Eng.ScheduleDetached(now+res.UsedNS+stall, func(end simtime.Time) {
 		m.segmentEnd(c, t, res, end)
 	})
 }
@@ -281,7 +281,7 @@ func (m *Machine) segmentEnd(c *Core, t *Thread, res RunResult, now simtime.Time
 		if t.rng.Bool(spec.BlockProb) {
 			dur := spec.BlockDuration(t.rng)
 			t.State = Blocked
-			m.Eng.Schedule(now+cost+dur, func(wake simtime.Time) {
+			m.Eng.ScheduleDetached(now+cost+dur, func(wake simtime.Time) {
 				m.enqueue(t, wake)
 			})
 			m.kickDispatch(c, now+cost)

@@ -144,7 +144,7 @@ func (c *chain) serve(t *tier, rng *xrand.Rand, now simtime.Time, done func(now 
 		if t.spike.SpikeProb > 0 && rng.Bool(t.spike.SpikeProb) {
 			dur += t.spike.Spike
 		}
-		c.eng.Schedule(at+dur, func(end simtime.Time) {
+		c.eng.ScheduleDetached(at+dur, func(end simtime.Time) {
 			t.busy--
 			if len(t.queue) > 0 {
 				next := t.queue[0]
@@ -195,7 +195,7 @@ func RunOpenLoop(spec ChainSpec, ratePerSec float64, dur simtime.Duration, ov []
 		if at >= dur {
 			return
 		}
-		c.eng.Schedule(at, func(now simtime.Time) {
+		c.eng.ScheduleDetached(at, func(now simtime.Time) {
 			begin := now
 			rng := xrand.SplitN(c.seed, "service/req", idx)
 			idx++
@@ -223,7 +223,7 @@ func RunClosedLoop(spec ChainSpec, clients int, dur simtime.Duration, ov []Overh
 	idx := 0
 	var issue func(at simtime.Time)
 	issue = func(at simtime.Time) {
-		c.eng.Schedule(at, func(now simtime.Time) {
+		c.eng.ScheduleDetached(at, func(now simtime.Time) {
 			begin := now
 			rng := xrand.SplitN(c.seed, "service/req", idx)
 			idx++

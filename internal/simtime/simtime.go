@@ -55,11 +55,12 @@ func (t Time) String() string {
 // Event is a scheduled callback in an Engine. Events are created by
 // Engine.Schedule and may be cancelled until they fire.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func(now Time)
-	index  int // heap index; -1 once fired or cancelled
-	engine *Engine
+	at       Time
+	seq      uint64
+	fn       func(now Time)
+	index    int // heap index; -1 once fired or cancelled
+	engine   *Engine
+	detached bool // recycled after firing; no handle exists outside the engine
 }
 
 // At returns the virtual time the event is scheduled to fire at.
@@ -115,6 +116,7 @@ type Engine struct {
 	now   Time
 	seq   uint64
 	queue eventQueue
+	free  []*Event // recycled detached events; see ScheduleDetached
 }
 
 // NewEngine returns an engine whose clock starts at time 0.
@@ -144,6 +146,37 @@ func (e *Engine) After(d Duration, fn func(now Time)) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// ScheduleDetached queues fn like Schedule but returns no handle: the
+// event cannot be cancelled or inspected, which lets the engine recycle
+// the Event struct through a free list the moment it fires. Most of the
+// control plane schedules fire-and-forget timers and discards the
+// handle; routing those through here removes the per-event allocation
+// once the free list warms up. (Handle-carrying events are never pooled
+// — a caller could hold a stale *Event across reuse and cancel somebody
+// else's timer.)
+func (e *Engine) ScheduleDetached(at Time, fn func(now Time)) {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, engine: e, detached: true}
+	}
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// AfterDetached queues fn to run d nanoseconds from now with no handle;
+// see ScheduleDetached.
+func (e *Engine) AfterDetached(d Duration, fn func(now Time)) {
+	e.ScheduleDetached(e.now+d, fn)
+}
+
 // Step fires the earliest pending event, advancing the clock to its time.
 // It returns false if no events are pending.
 func (e *Engine) Step() bool {
@@ -152,7 +185,14 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
-	ev.fn(e.now)
+	fn := ev.fn
+	if ev.detached {
+		// Recycle before firing so the callback itself can reuse the
+		// struct; fn is cleared so the free list does not pin closures.
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
+	fn(e.now)
 	return true
 }
 

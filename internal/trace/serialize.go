@@ -1,60 +1,60 @@
 package trace
 
 import (
-	"bytes"
-	"encoding/binary"
 	"fmt"
 	"math"
 
 	"exist/internal/kernel"
 	"exist/internal/simtime"
+	"exist/internal/wire"
 )
 
 // Wire format: EXIST's data path uploads raw sessions to the object store
 // (OSS) instead of writing node-local files (§4 of the paper); the decoder
-// later fetches them together with the program binary. The format is a
-// simple tagged little-endian layout with a magic header.
+// later fetches them together with the program binary.
+//
+// Two formats exist on the wire. The legacy v1 layout is a flat tagged
+// little-endian dump (magic "EXIS"); the current v2 layout (magic "EXI2",
+// serialize_v2.go) adds varint/delta encoding, a string dictionary, and
+// per-core block framing. Marshal writes v2; UnmarshalSession dispatches
+// on the magic, so v1 sessions written by older builds still decode.
 
-const sessionMagic = 0x45584953 // "EXIS"
+const (
+	sessionMagicV1 = 0x45584953 // "EXIS"
+	sessionMagicV2 = 0x45584932 // "EXI2"
+)
 
-// putString appends a length-prefixed string.
-func putString(w *bytes.Buffer, s string) {
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
-	w.Write(n[:])
-	w.WriteString(s)
+// V1Size returns the exact encoded size of the session in the v1 layout.
+// The cluster ledger uses it to report v1-equivalent volume next to the
+// bytes actually shipped, and MarshalV1 uses it to allocate exactly once.
+func V1Size(s *Session) int {
+	n := 4 // magic
+	n += 4 + len(s.ID)
+	n += 4 + len(s.Node)
+	n += 4 + len(s.Workload)
+	n += 4 + 8 + 8 + 8 + 4 // pid, start, end, scale, core count
+	for i := range s.Cores {
+		n += 4 + 1 + 8 + 4 + len(s.Cores[i].Data)
+	}
+	n += 4 + len(s.Switches.Records)*kernel.RecordSize
+	return n
 }
 
-func getString(r *bytes.Reader) (string, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", err
-	}
-	if int(n) > r.Len() {
-		return "", fmt.Errorf("trace: string length %d exceeds remaining %d", n, r.Len())
-	}
-	b := make([]byte, n)
-	if _, err := r.Read(b); err != nil {
-		return "", err
-	}
-	return string(b), nil
-}
-
-// Marshal serializes the session for upload.
-func (s *Session) Marshal() []byte {
-	var w bytes.Buffer
-	binary.Write(&w, binary.LittleEndian, uint32(sessionMagic))
-	putString(&w, s.ID)
-	putString(&w, s.Node)
-	putString(&w, s.Workload)
-	binary.Write(&w, binary.LittleEndian, int32(s.PID))
-	binary.Write(&w, binary.LittleEndian, int64(s.Start))
-	binary.Write(&w, binary.LittleEndian, int64(s.End))
-	binary.Write(&w, binary.LittleEndian, math.Float64bits(s.Scale))
-	binary.Write(&w, binary.LittleEndian, uint32(len(s.Cores)))
+// MarshalV1 serializes the session in the legacy v1 layout.
+func (s *Session) MarshalV1() []byte {
+	w := make([]byte, 0, V1Size(s))
+	w = wire.AppendU32(w, sessionMagicV1)
+	w = appendV1String(w, s.ID)
+	w = appendV1String(w, s.Node)
+	w = appendV1String(w, s.Workload)
+	w = wire.AppendU32(w, uint32(s.PID))
+	w = wire.AppendU64(w, uint64(s.Start))
+	w = wire.AppendU64(w, uint64(s.End))
+	w = wire.AppendU64(w, math.Float64bits(s.Scale))
+	w = wire.AppendU32(w, uint32(len(s.Cores)))
 	for i := range s.Cores {
 		c := &s.Cores[i]
-		binary.Write(&w, binary.LittleEndian, int32(c.Core))
+		w = wire.AppendU32(w, uint32(c.Core))
 		flags := uint8(0)
 		if c.Wrapped {
 			flags |= 1
@@ -62,107 +62,95 @@ func (s *Session) Marshal() []byte {
 		if c.Stopped {
 			flags |= 2
 		}
-		w.WriteByte(flags)
-		binary.Write(&w, binary.LittleEndian, c.DroppedBytes)
-		binary.Write(&w, binary.LittleEndian, uint32(len(c.Data)))
-		w.Write(c.Data)
+		w = append(w, flags)
+		w = wire.AppendU64(w, uint64(c.DroppedBytes))
+		w = wire.AppendU32(w, uint32(len(c.Data)))
+		w = append(w, c.Data...)
 	}
-	sw := s.Switches.Bytes()
-	binary.Write(&w, binary.LittleEndian, uint32(len(sw)))
-	w.Write(sw)
-	return w.Bytes()
+	w = wire.AppendU32(w, uint32(len(s.Switches.Records)*kernel.RecordSize))
+	for _, rec := range s.Switches.Records {
+		w = rec.AppendBinary(w)
+	}
+	return w
 }
 
-// UnmarshalSession parses a serialized session.
+func appendV1String(w []byte, s string) []byte {
+	w = wire.AppendU32(w, uint32(len(s)))
+	return append(w, s...)
+}
+
+func getV1String(r *wire.Reader) string {
+	n := r.U32()
+	if int(n) > r.Len() {
+		return ""
+	}
+	return r.String(int(n))
+}
+
+// UnmarshalSession parses a serialized session of either format. Slices
+// in the result may alias data; callers that mutate the session after
+// unmarshaling should copy first (the object store hands out private
+// copies, so the cluster pipeline never needs to).
 func UnmarshalSession(data []byte) (*Session, error) {
-	r := bytes.NewReader(data)
-	var magic uint32
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return nil, err
+	if len(data) < 4 {
+		return nil, fmt.Errorf("trace: session too short (%d bytes)", len(data))
 	}
-	if magic != sessionMagic {
-		return nil, fmt.Errorf("trace: bad session magic %#x", magic)
+	switch wire.U32(data) {
+	case sessionMagicV1:
+		return unmarshalV1(data)
+	case sessionMagicV2:
+		return unmarshalV2(data)
+	default:
+		return nil, fmt.Errorf("trace: bad session magic %#x", wire.U32(data))
 	}
+}
+
+// unmarshalV1 parses the legacy flat layout.
+func unmarshalV1(data []byte) (*Session, error) {
+	r := wire.NewReader(data)
+	r.U32() // magic, already checked
 	s := &Session{}
-	var err error
-	if s.ID, err = getString(r); err != nil {
+	s.ID = getV1String(r)
+	s.Node = getV1String(r)
+	s.Workload = getV1String(r)
+	s.PID = int32(r.U32())
+	s.Start = simtime.Time(r.U64())
+	s.End = simtime.Time(r.U64())
+	s.Scale = math.Float64frombits(r.U64())
+	nCores := r.U32()
+	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	if s.Node, err = getString(r); err != nil {
-		return nil, err
-	}
-	if s.Workload, err = getString(r); err != nil {
-		return nil, err
-	}
-	var pid int32
-	var start, end int64
-	var scaleBits uint64
-	var nCores uint32
-	if err := binary.Read(r, binary.LittleEndian, &pid); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &start); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &end); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &nCores); err != nil {
-		return nil, err
-	}
-	s.PID = pid
-	s.Start, s.End = simtime.Time(start), simtime.Time(end)
-	s.Scale = math.Float64frombits(scaleBits)
 	if int(nCores) > 1<<16 {
 		return nil, fmt.Errorf("trace: implausible core count %d", nCores)
 	}
 	for i := 0; i < int(nCores); i++ {
-		var core int32
-		if err := binary.Read(r, binary.LittleEndian, &core); err != nil {
-			return nil, err
-		}
-		flags, err := r.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		var dropped int64
-		if err := binary.Read(r, binary.LittleEndian, &dropped); err != nil {
-			return nil, err
-		}
-		var n uint32
-		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		core := int32(r.U32())
+		flags := r.U8()
+		dropped := int64(r.U64())
+		n := r.U32()
+		if err := r.Err(); err != nil {
 			return nil, err
 		}
 		if int(n) > r.Len() {
 			return nil, fmt.Errorf("trace: core data length %d exceeds remaining %d", n, r.Len())
 		}
-		data := make([]byte, n)
-		if _, err := r.Read(data); err != nil {
-			return nil, err
-		}
 		s.Cores = append(s.Cores, CoreTrace{
 			Core:         int(core),
-			Data:         data,
+			Data:         r.Bytes(int(n)),
 			Wrapped:      flags&1 != 0,
 			Stopped:      flags&2 != 0,
 			DroppedBytes: dropped,
 		})
 	}
-	var swLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &swLen); err != nil {
+	swLen := r.U32()
+	if err := r.Err(); err != nil {
 		return nil, err
 	}
 	if int(swLen) > r.Len() {
 		return nil, fmt.Errorf("trace: switch log length %d exceeds remaining %d", swLen, r.Len())
 	}
-	sw := make([]byte, swLen)
-	if _, err := r.Read(sw); err != nil && swLen > 0 {
-		return nil, err
-	}
-	log, err := kernel.DecodeSwitchLog(sw)
+	log, err := kernel.DecodeSwitchLog(r.Bytes(int(swLen)))
 	if err != nil {
 		return nil, err
 	}

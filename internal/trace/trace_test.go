@@ -120,11 +120,14 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	if _, err := UnmarshalSession(nil); err == nil {
 		t.Fatal("expected error for empty input")
 	}
-	// Truncated valid prefix.
+	// Truncated valid prefixes: every proper prefix must fail (a v2
+	// session is only complete once its end block arrives).
 	s := &Session{ID: "x", Cores: []CoreTrace{{Core: 0, Data: make([]byte, 100)}}}
 	b := s.Marshal()
-	if _, err := UnmarshalSession(b[:len(b)-50]); err == nil {
-		t.Fatal("expected error for truncated session")
+	for _, cut := range []int{4, len(b) / 2, len(b) - 1} {
+		if _, err := UnmarshalSession(b[:cut]); err == nil {
+			t.Fatalf("expected error for session truncated to %d/%d", cut, len(b))
+		}
 	}
 }
 
