@@ -3,6 +3,10 @@
 // opens a bounded tracing session, and prints the session summary and the
 // decoded execution profile — the node-level "daemon" view of the system.
 //
+// The daemon is a thin shell over the node runtime: it provisions a
+// node.Spec, attaches the EXIST backend from the tracer registry, runs the
+// window, and harvests the session.
+//
 // Usage:
 //
 //	existd -app Search1 -period 500ms -cores 16 -budget-mb 500
@@ -15,12 +19,12 @@ import (
 	"sort"
 	"time"
 
-	"exist/internal/core"
 	"exist/internal/decode"
 	"exist/internal/memalloc"
-	"exist/internal/sched"
+	"exist/internal/node"
 	"exist/internal/simtime"
 	"exist/internal/trace"
+	"exist/internal/tracer"
 	"exist/internal/workload"
 )
 
@@ -49,48 +53,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	mcfg := sched.DefaultConfig()
-	mcfg.Cores = *cores
-	mcfg.Seed = *seed
-	mcfg.Timeslice = 1 * simtime.Millisecond
-	m := sched.NewMachine(mcfg)
-
-	prog := p.Synthesize(*seed)
-	proc := p.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: *seed})
 	filler, err := workload.ByName("Cache")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	filler.Install(m, workload.InstallOpts{Seed: *seed + 1})
+
+	prog := node.Program(p, *seed)
+	rt := node.Provision(node.Spec{
+		Cores:     *cores,
+		HT:        true,
+		Seed:      *seed,
+		Timeslice: 1 * simtime.Millisecond,
+		Workload:  p,
+		Walker:    true,
+		Scale:     trace.SpaceScale,
+		Prog:      prog,
+		CoRunners: []node.CoRunner{{Profile: filler, SeedOffset: 1}},
+		Warmup:    100 * simtime.Millisecond,
+		Dur:       simtime.Duration(period.Nanoseconds()),
+		Drain:     10 * simtime.Millisecond,
+		Backend:   "EXIST",
+		Tracer: tracer.Options{
+			Mem:       &memalloc.Config{Budget: *budgetMB << 20, PerCoreMin: 4 << 20, PerCoreMax: 128 << 20, SampleRatio: *ratio},
+			SessionID: "existd-session",
+		},
+		KeepSession: true,
+	})
+	m := rt.Machine
 
 	fmt.Printf("existd: node with %d cores; tracing %s (%s, %d threads, %s) for %v\n",
-		*cores, p.Name, p.Desc, p.Threads, proc.Mode, *period)
+		*cores, p.Name, p.Desc, p.Threads, rt.Proc.Mode, *period)
 
 	// Warm up, then open the session (EXIST is triggered on demand).
-	m.Run(100 * simtime.Millisecond)
-	ctrl := core.NewController(m)
-	ccfg := core.DefaultConfig()
-	ccfg.Period = simtime.Duration(period.Nanoseconds())
-	ccfg.Scale = trace.SpaceScale
-	ccfg.Seed = *seed
-	ccfg.Mem = memalloc.Config{Budget: *budgetMB << 20, PerCoreMin: 4 << 20, PerCoreMax: 128 << 20, SampleRatio: *ratio}
-	ccfg.SessionID = "existd-session"
-	sess, err := ctrl.Trace(proc, ccfg)
-	if err != nil {
+	if err := rt.Attach(); err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)
 	}
+	sess := rt.Backend.(*tracer.EXIST).CoreSession()
 	fmt.Printf("existd: UMA plan: %d traced cores (ratio %.0f%%), %.0f MB allocated\n",
 		len(sess.Plan.Cores), sess.Plan.SampleRatio*100, float64(sess.Plan.TotalBytes)/(1<<20))
 
-	m.Run(m.Eng.Now() + ccfg.Period + 10*simtime.Millisecond)
-	result, err := sess.Result()
+	rt.Run()
+	r, err := rt.Harvest()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "result:", err)
 		os.Exit(1)
 	}
+	result := r.Session
 
 	fmt.Printf("existd: window %v; %d five-tuple records; %.1f MB trace (real scale); %d MSR ops total\n",
 		result.Duration(), len(result.Switches.Records), result.SpaceMB(), sess.Stats.MSROps)

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"exist/internal/decode"
+	"exist/internal/node"
 	"exist/internal/report"
 	"exist/internal/trace"
 	"exist/internal/workload"
@@ -81,7 +82,30 @@ func main() {
 		}
 	}
 
-	prog := p.Synthesize(*seed)
+	prog := node.Program(p, *seed)
 	rec := decode.DecodeParallel(sess, prog, *jobs)
 	fmt.Print(report.Build(rec, prog, sess, report.Options{TopFuncs: *top}))
+
+	if msg := degradedReport(sess, rec); msg != "" {
+		fmt.Fprint(os.Stderr, msg)
+		os.Exit(1)
+	}
+}
+
+// degradedReport returns a non-empty diagnostic when the session carries
+// cores but decodes to zero usable ones — a degraded artifact (truncated
+// upload, wrong binary seed, fully-dropped buffers). Pipelines get a
+// non-zero exit instead of a silently empty profile.
+func degradedReport(sess *trace.Session, rec *decode.Result) string {
+	if len(sess.Cores) == 0 || rec.Events > 0 {
+		return ""
+	}
+	msg := fmt.Sprintf("existdecode: degraded session: 0 usable cores (%d present, %d decode notes)\n",
+		len(sess.Cores), len(rec.Errors))
+	for i := range sess.Cores {
+		c := &sess.Cores[i]
+		msg += fmt.Sprintf("  core %d: %d trace bytes, %d dropped, wrapped=%v stopped=%v\n",
+			c.Core, len(c.Data), c.DroppedBytes, c.Wrapped, c.Stopped)
+	}
+	return msg
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"exist/internal/decode"
+	"exist/internal/trace"
+)
+
+func TestDegradedReport(t *testing.T) {
+	sess := &trace.Session{Cores: []trace.CoreTrace{
+		{Core: 0, DroppedBytes: 4096, Stopped: true},
+		{Core: 1},
+	}}
+	rec := &decode.Result{Errors: []string{"core 0: truncated packet"}}
+
+	msg := degradedReport(sess, rec)
+	if msg == "" {
+		t.Fatal("zero decoded events across populated cores must be reported as degraded")
+	}
+	for _, want := range []string{"0 usable cores", "2 present", "1 decode notes", "core 0", "core 1", "4096 dropped"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("degraded report missing %q in:\n%s", want, msg)
+		}
+	}
+
+	rec.Events = 1
+	if msg := degradedReport(sess, rec); msg != "" {
+		t.Errorf("session with decoded events reported degraded: %q", msg)
+	}
+	empty := &trace.Session{}
+	rec.Events = 0
+	if msg := degradedReport(empty, rec); msg != "" {
+		t.Errorf("session with no cores reported degraded: %q", msg)
+	}
+}

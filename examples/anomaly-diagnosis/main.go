@@ -13,11 +13,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"exist/internal/core"
 	"exist/internal/decode"
 	"exist/internal/kernel"
+	"exist/internal/node"
 	"exist/internal/report"
 	"exist/internal/sched"
 	"exist/internal/simtime"
@@ -29,24 +31,29 @@ import (
 func main() {
 	const seed = 7
 
-	mcfg := sched.DefaultConfig()
-	mcfg.Cores = 8
-	mcfg.Seed = seed
-	mcfg.Timeslice = 500 * simtime.Microsecond
-	m := sched.NewMachine(mcfg)
-
-	// The observed service: Recommend (heavily multi-threaded ML serving).
+	// The observed service: Recommend (heavily multi-threaded ML serving),
+	// provisioned through the node runtime.
 	rec := workload.CaseStudyApps()[4]
-	rec.Threads = 6
-	prog := rec.Synthesize(seed)
-	proc := rec.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: seed})
+	prog := node.Program(rec, seed)
+	rt := node.Provision(node.Spec{
+		Cores:     8,
+		HT:        true,
+		Seed:      seed,
+		Timeslice: 500 * simtime.Microsecond,
+		Workload:  rec,
+		Threads:   6,
+		Walker:    true,
+		Scale:     trace.SpaceScale,
+		Prog:      prog,
+	})
+	m, proc := rt.Machine, rt.Proc
 
 	// The hidden culprit: a logging thread in the same process whose
 	// writes are synchronous. Each one can block on disk for a long time.
 	logWeights := make([]float64, int(kernel.NumSyscallClasses))
 	logWeights[kernel.SysFileWriteSlow] = 1
 	logger := m.SpawnThread(proc, sched.NewWalkerExec(
-		prog, xrand.New(seed), mcfg.Cost, trace.SpaceScale).
+		prog, xrand.New(seed), m.Cfg.Cost, trace.SpaceScale).
 		WithPacing(110*simtime.Millisecond, logWeights))
 
 	// Per-thread syscall tallies, the kind of evidence decoded traces plus
@@ -69,10 +76,13 @@ func main() {
 	fmt.Println("observed: RT spikes and thread-count growth on Recommend — metrics alone cannot explain it")
 	fmt.Println("action:   open an EXIST window on the process")
 
+	// This example drives the controller directly (the escape hatch below
+	// the registry backends): anomaly windows are opened on demand, not on
+	// the runtime's fixed schedule.
 	m.Run(100 * simtime.Millisecond)
-	ctrl := core.NewController(m)
+	ctrl := rt.Controller()
 	ccfg := core.DefaultConfig()
-	ccfg.Period = 800 * simtime.Millisecond
+	ccfg.Period = quick(800 * simtime.Millisecond)
 	ccfg.Scale = trace.SpaceScale
 	ccfg.Seed = seed
 	sess, err := ctrl.Trace(proc, ccfg)
@@ -160,3 +170,11 @@ func main() {
 
 // logThreadID returns a thread's ID (small helper keeping main readable).
 func logThreadID(t *sched.Thread) int { return t.TID }
+
+// quick halves simulated durations when EXIST_QUICK is set (CI smoke runs).
+func quick(d simtime.Duration) simtime.Duration {
+	if os.Getenv("EXIST_QUICK") != "" {
+		return d / 2
+	}
+	return d
+}

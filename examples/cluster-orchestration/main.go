@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"exist/internal/cluster"
@@ -21,6 +22,7 @@ import (
 	"exist/internal/decode"
 	"exist/internal/simtime"
 	"exist/internal/trace"
+	"exist/internal/tracer"
 	"exist/internal/workload"
 )
 
@@ -28,7 +30,8 @@ func main() {
 	cfg := cluster.DefaultConfig() // ten nodes, as the paper's evaluation cluster
 	cfg.CoresPerNode = 8
 	cfg.Seed = 11
-	c := cluster.New(cfg)
+	c := cluster.New(cfg) // each node is provisioned through the node runtime
+	fmt.Printf("tracer backends registered: %v\n", tracer.Names())
 
 	app, err := workload.ByName("Search1")
 	if err != nil {
@@ -49,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.Run(6 * simtime.Second)
+	c.Run(quick(6 * simtime.Second))
 
 	fmt.Printf("request %q: %s\n", req.Name, req.Phase)
 	fmt.Printf("spatial sampler traced %d of %d repetitions\n", len(req.SessionKeys), cfg.Nodes)
@@ -94,4 +97,12 @@ func main() {
 		fmt.Printf("  %8.0f  %s\n", r.n, r.name)
 	}
 	fmt.Printf("management cost: %.2e cores, %.0f MB (RCO pod)\n", c.ManagementCores(), c.Mgmt.MemMB)
+}
+
+// quick halves simulated durations when EXIST_QUICK is set (CI smoke runs).
+func quick(d simtime.Duration) simtime.Duration {
+	if os.Getenv("EXIST_QUICK") != "" {
+		return d / 2
+	}
+	return d
 }

@@ -7,18 +7,23 @@
 // compulsory "current" cores plus low-utilization candidates — and skews
 // the budget toward the cores the process actually uses.
 //
+// Both deployments run through the same node runtime; only the workload
+// profile differs.
+//
 //	go run ./examples/provisioning-modes
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"exist/internal/core"
 	"exist/internal/decode"
-	"exist/internal/sched"
+	"exist/internal/memalloc"
+	"exist/internal/node"
 	"exist/internal/simtime"
 	"exist/internal/trace"
+	"exist/internal/tracer"
 	"exist/internal/workload"
 )
 
@@ -28,25 +33,27 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mcfg := sched.DefaultConfig()
-		mcfg.Cores = 16
-		mcfg.Seed = 21
-		m := sched.NewMachine(mcfg)
-		prog := p.Synthesize(21)
-		proc := p.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: 21})
-
-		// Warm up so UMA has utilization signal to read.
-		m.Run(150 * simtime.Millisecond)
-
-		ctrl := core.NewController(m)
-		ccfg := core.DefaultConfig()
-		ccfg.Period = 300 * simtime.Millisecond
-		ccfg.Scale = trace.SpaceScale
-		ccfg.Seed = 21
-		sess, err := ctrl.Trace(proc, ccfg)
-		if err != nil {
+		prog := node.Program(p, 21)
+		rt := node.Provision(node.Spec{
+			Cores:    16,
+			HT:       true,
+			Seed:     21,
+			Workload: p,
+			Walker:   true,
+			Scale:    trace.SpaceScale,
+			Prog:     prog,
+			// Warm up so UMA has utilization signal to read.
+			Warmup:      150 * simtime.Millisecond,
+			Dur:         quick(300 * simtime.Millisecond),
+			Drain:       10 * simtime.Millisecond,
+			Backend:     "EXIST",
+			KeepSession: true,
+		})
+		if err := rt.Attach(); err != nil {
 			log.Fatal(err)
 		}
+		sess := rt.Backend.(*tracer.EXIST).CoreSession()
+		proc := rt.Proc
 
 		fmt.Printf("%s (%s, %d threads, MCS=%d cores)\n", p.Name, proc.Mode, p.Threads, len(proc.Allowed))
 		fmt.Printf("  UMA traced core set: %d cores (ratio %.0f%%)\n",
@@ -62,13 +69,14 @@ func main() {
 		}
 		fmt.Printf("  per-core buffers: %.0f-%.0f MB (total %.0f MB of the %d MB budget)\n",
 			float64(minB)/(1<<20), float64(maxB)/(1<<20),
-			float64(sess.Plan.TotalBytes)/(1<<20), ccfg.Mem.Budget>>20)
+			float64(sess.Plan.TotalBytes)/(1<<20), memalloc.DefaultConfig().Budget>>20)
 
-		m.Run(sess.Start + ccfg.Period + 10*simtime.Millisecond)
-		res, err := sess.Result()
+		rt.Run()
+		r, err := rt.Harvest()
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := r.Session
 		rec := decode.Decode(res, prog)
 		stopped := 0
 		for _, ct := range res.Cores {
@@ -81,4 +89,12 @@ func main() {
 	}
 	fmt.Println("CPU-set apps get the whole mapped set with maximal buffers; CPU-share apps are sampled —")
 	fmt.Println("the coreset sampler keeps accuracy while cutting space (Figure 19).")
+}
+
+// quick halves simulated durations when EXIST_QUICK is set (CI smoke runs).
+func quick(d simtime.Duration) simtime.Duration {
+	if os.Getenv("EXIST_QUICK") != "" {
+		return d / 2
+	}
+	return d
 }

@@ -28,6 +28,7 @@ import (
 	"exist/internal/decode"
 	"exist/internal/faults"
 	"exist/internal/memalloc"
+	"exist/internal/node"
 	"exist/internal/sched"
 	"exist/internal/simtime"
 	"exist/internal/trace"
@@ -206,6 +207,9 @@ func (a *APIServer) List() []*TraceRequest {
 type Node struct {
 	// Name is the node name.
 	Name string
+	// Runtime is the node's provisioning runtime; Machine and Ctrl are
+	// cached views of it (kept as fields so call sites stay terse).
+	Runtime *node.Runtime
 	// Machine is the node's simulated OS/hardware.
 	Machine *sched.Machine
 	// Ctrl is the node's EXIST controller.
@@ -412,15 +416,17 @@ func New(cfg Config) *Cluster {
 		Mgmt:        MgmtStats{MemMB: 40}, // the RCO management pod's footprint
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		mcfg := sched.DefaultConfig()
-		mcfg.Cores = cfg.CoresPerNode
-		mcfg.Seed = cfg.Seed + uint64(i)*7919
-		mcfg.Engine = c.Eng
-		m := sched.NewMachine(mcfg)
+		rt := node.Provision(node.Spec{
+			Cores:  cfg.CoresPerNode,
+			HT:     true, // sched default; nodes keep hyperthreaded topology
+			Seed:   cfg.Seed + uint64(i)*7919,
+			Engine: c.Eng,
+		})
 		c.Nodes = append(c.Nodes, &Node{
 			Name:          fmt.Sprintf("node-%d", i),
-			Machine:       m,
-			Ctrl:          core.NewController(m),
+			Runtime:       rt,
+			Machine:       rt.Machine,
+			Ctrl:          rt.Controller(),
 			Apps:          make(map[string]*sched.Process),
 			MemCapacityMB: 384 * 1024 / float64(cfg.Nodes), // 384 GB class nodes scaled per config
 		})
@@ -460,7 +466,7 @@ func (c *Cluster) Deploy(p workload.Profile, names []string, opt workload.Instal
 		}
 	}
 	if opt.Walker && opt.Prog == nil {
-		opt.Prog = p.Synthesize(opt.Seed)
+		opt.Prog = node.Program(p, opt.Seed)
 	}
 	c.profiles[p.Name] = p
 	if opt.Prog != nil {

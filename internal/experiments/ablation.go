@@ -8,6 +8,7 @@ import (
 	"exist/internal/decode"
 	"exist/internal/memalloc"
 	"exist/internal/metrics"
+	"exist/internal/node"
 	"exist/internal/sched"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
@@ -44,19 +45,19 @@ func runAblationControl(cfg Config) (*Result, error) {
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
 
 	run := func(mode core.BufferMode, hot bool) (ops, swaps, switches int64, cycles int64, err error) {
-		mcfg := sched.DefaultConfig()
-		mcfg.Cores = 8
-		mcfg.HTSiblings = false
-		mcfg.Seed = cfg.Seed ^ 0xAB1
-		mcfg.Timeslice = 1 * simtime.Millisecond
-		m := sched.NewMachine(mcfg)
-		proc := mc.Install(m, workload.InstallOpts{Seed: mcfg.Seed})
-		ctrl := core.NewController(m)
+		rt := node.Provision(node.Spec{
+			Cores:     8,
+			Timeslice: 1 * simtime.Millisecond,
+			Seed:      cfg.Seed ^ 0xAB1,
+			Workload:  mc,
+		})
+		m, proc := rt.Machine, rt.Proc
+		ctrl := rt.Controller()
 		ccfg := core.DefaultConfig()
 		ccfg.Period = dur
 		ccfg.Buffers = mode
 		ccfg.HotSwap = hot
-		ccfg.Seed = mcfg.Seed
+		ccfg.Seed = m.Cfg.Seed
 		ccfg.Mem = memalloc.Config{Budget: 64 << 20, PerCoreMin: 2 << 20, PerCoreMax: 16 << 20}
 		sess, err := ctrl.Trace(proc, ccfg)
 		if err != nil {
@@ -102,19 +103,19 @@ func runAblationHotswap(cfg Config) (*Result, error) {
 	}
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
 	run := func(mode core.BufferMode, hot bool) (ops int64, cycles int64, err error) {
-		mcfg := sched.DefaultConfig()
-		mcfg.Cores = 8
-		mcfg.HTSiblings = false
-		mcfg.Seed = cfg.Seed ^ 0xAB7
-		mcfg.Timeslice = 1 * simtime.Millisecond
-		m := sched.NewMachine(mcfg)
-		proc := mc.Install(m, workload.InstallOpts{Seed: mcfg.Seed})
-		ctrl := core.NewController(m)
+		rt := node.Provision(node.Spec{
+			Cores:     8,
+			Timeslice: 1 * simtime.Millisecond,
+			Seed:      cfg.Seed ^ 0xAB7,
+			Workload:  mc,
+		})
+		m, proc := rt.Machine, rt.Proc
+		ctrl := rt.Controller()
 		ccfg := core.DefaultConfig()
 		ccfg.Period = dur
 		ccfg.Buffers = mode
 		ccfg.HotSwap = hot
-		ccfg.Seed = mcfg.Seed
+		ccfg.Seed = m.Cfg.Seed
 		ccfg.Mem = memalloc.Config{Budget: 64 << 20, PerCoreMin: 2 << 20, PerCoreMax: 16 << 20}
 		sess, err := ctrl.Trace(proc, ccfg)
 		if err != nil {
@@ -167,14 +168,17 @@ func runAblationDrop(cfg Config) (*Result, error) {
 	// retains only the suffix.
 	run := func(drop core.DropPolicy) (firstHalf, secondHalf float64, err error) {
 		prog := s1.Synthesize(cfg.Seed ^ 0xAB2)
-		mcfg := sched.DefaultConfig()
-		mcfg.Cores = 8
-		mcfg.HTSiblings = false
-		mcfg.Seed = cfg.Seed ^ 0xAB3
-		mcfg.Timeslice = 500 * simtime.Microsecond
-		m := sched.NewMachine(mcfg)
-		proc := s1.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: mcfg.Seed})
-		addHousekeeping(m, mcfg.Seed+91)
+		rt := node.Provision(node.Spec{
+			Cores:        8,
+			Timeslice:    500 * simtime.Microsecond,
+			Seed:         cfg.Seed ^ 0xAB3,
+			Workload:     s1,
+			Walker:       true,
+			Scale:        trace.SpaceScale,
+			Prog:         prog,
+			Housekeeping: true,
+		})
+		m, proc := rt.Machine, rt.Proc
 
 		gtFirst := trace.NewGroundTruth(prog, 0, 0)
 		gtSecond := trace.NewGroundTruth(prog, 0, 0)
@@ -186,11 +190,11 @@ func runAblationDrop(cfg Config) (*Result, error) {
 			gtSecond.Record(int32(th.TID), now, ev)
 		}
 		m.Run(100 * simtime.Millisecond)
-		ctrl := core.NewController(m)
+		ctrl := rt.Controller()
 		ccfg := core.DefaultConfig()
 		ccfg.Period = period
 		ccfg.Scale = trace.SpaceScale
-		ccfg.Seed = mcfg.Seed
+		ccfg.Seed = m.Cfg.Seed
 		ccfg.Drop = drop
 		// Budget roughly half of the window's volume so the tail cannot fit.
 		ccfg.Mem = memalloc.Config{Budget: 160 << 20, PerCoreMin: 2 << 20, PerCoreMax: 24 << 20}

@@ -3,14 +3,13 @@ package experiments
 import (
 	"fmt"
 
-	"exist/internal/baselines"
 	"exist/internal/binary"
 	"exist/internal/core"
 	"exist/internal/coverage"
 	"exist/internal/decode"
-	"exist/internal/kernel"
 	"exist/internal/memalloc"
 	"exist/internal/metrics"
+	"exist/internal/node"
 	"exist/internal/parallel"
 	"exist/internal/sched"
 	"exist/internal/simtime"
@@ -59,23 +58,7 @@ func init() {
 	})
 }
 
-// addHousekeeping pins one kworker-style kernel housekeeping thread on
-// every core: a ~20 µs burst every couple of milliseconds. Real nodes
-// always have these; they are what guarantees that even a CPU-bound
-// pinned target is scheduled out (and captured by OTC) within
-// milliseconds.
-func addHousekeeping(m *sched.Machine, seed uint64) {
-	weights := make([]float64, int(kernel.SysNanosleep)+1)
-	weights[kernel.SysNanosleep] = 1
-	for i := range m.Cores {
-		p := m.AddProcess(fmt.Sprintf("kworker/%d", i), nil, sched.CPUSet, []int{i})
-		exec := sched.NewAnalyticExec(xrand.SplitN(seed, "kworker", i), m.Cfg.Cost,
-			60_000, weights, 20, 0.1, 1.2)
-		m.SpawnThread(p, exec)
-	}
-}
-
-// traceWindow runs one machine hosting the walker-backed app plus a
+// traceWindow runs one node hosting the walker-backed app plus a
 // best-effort co-runner and captures one tracing window: EXIST's bounded
 // session, or the exhaustive NHT reference when nhtRef is set. The warmup
 // offset de-phases reference and subject runs, as two captures of a
@@ -84,45 +67,44 @@ func traceWindow(cfg Config, p workload.Profile, prog *binary.Program,
 	period simtime.Duration, sampleRatio float64, seed uint64, nhtRef bool,
 	warmup simtime.Duration) (*trace.Session, error) {
 
-	scale := trace.SpaceScale
-	mcfg := sched.DefaultConfig()
-	mcfg.Cores = 16
-	mcfg.HTSiblings = false
-	mcfg.Seed = cfg.Seed ^ seed
-	mcfg.Timeslice = 500 * simtime.Microsecond
-	m := sched.NewMachine(mcfg)
-
-	proc := p.Install(m, workload.InstallOpts{Walker: true, Scale: scale, Prog: prog, Seed: mcfg.Seed})
 	noise, err := workload.ByName("Cache")
 	if err != nil {
 		return nil, err
 	}
-	noise.Install(m, workload.InstallOpts{Seed: mcfg.Seed + 55})
-	addHousekeeping(m, mcfg.Seed+91)
+	spec := node.Spec{
+		Cores:     16,
+		Timeslice: 500 * simtime.Microsecond,
+		Seed:      cfg.Seed ^ seed,
 
-	m.Run(warmup)
-	if nhtRef {
-		n := baselines.NewNHT(scale)
-		n.FilterTarget = true
-		if err := n.Attach(m, proc); err != nil {
-			return nil, err
-		}
-		m.Run(warmup + period)
-		n.Stop(m.Eng.Now())
-		return n.Session(p.Name), nil
+		Workload: p,
+		Walker:   true,
+		Scale:    trace.SpaceScale,
+		Prog:     prog,
+
+		CoRunners:    []node.CoRunner{{Profile: noise, SeedOffset: 55}},
+		Housekeeping: true,
+
+		Warmup:      warmup,
+		Dur:         period,
+		KeepSession: true,
 	}
-	ctrl := core.NewController(m)
-	ccfg := core.DefaultConfig()
-	ccfg.Period = period
-	ccfg.Scale = scale
-	ccfg.Seed = mcfg.Seed
-	ccfg.Mem.SampleRatio = sampleRatio
-	sess, err := ctrl.Trace(proc, ccfg)
+	if nhtRef {
+		spec.Backend = "NHT"
+		spec.Tracer.FilterTarget = true
+	} else {
+		spec.Backend = "EXIST"
+		// EXIST's HRT closes the window itself; a short drain lets the
+		// closing event fire before harvest.
+		spec.Drain = 10 * simtime.Millisecond
+		mem := memalloc.DefaultConfig()
+		mem.SampleRatio = sampleRatio
+		spec.Tracer.Mem = &mem
+	}
+	r, err := node.Run(spec)
 	if err != nil {
 		return nil, err
 	}
-	m.Run(warmup + period + 10*simtime.Millisecond)
-	return sess.Result()
+	return r.Session, nil
 }
 
 // accuracyPair holds one EXIST-vs-reference comparison.
@@ -455,13 +437,6 @@ func runAccBench(cfg Config) (*Result, error) {
 			return benchOut{skip: true}, nil
 		}
 		prog := p.Synthesize(cfg.Seed ^ 0xBE)
-		mcfg := sched.DefaultConfig()
-		mcfg.Cores = 8
-		mcfg.HTSiblings = false
-		mcfg.Seed = cfg.Seed + uint64(wi)*71
-		mcfg.Timeslice = 500 * simtime.Microsecond
-		m := sched.NewMachine(mcfg)
-		proc := p.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: mcfg.Seed})
 		// Pervasive co-location (one best-effort thread per core): shared
 		// datacenters always multiplex, which is also what lets OTC
 		// capture even CPU-bound targets at their next schedule-in.
@@ -469,8 +444,18 @@ func runAccBench(cfg Config) (*Result, error) {
 		if err != nil {
 			return benchOut{}, err
 		}
-		noise.Install(m, workload.InstallOpts{Seed: mcfg.Seed + 3})
-		addHousekeeping(m, mcfg.Seed+91)
+		rt := node.Provision(node.Spec{
+			Cores:        8,
+			Timeslice:    500 * simtime.Microsecond,
+			Seed:         cfg.Seed + uint64(wi)*71,
+			Workload:     p,
+			Walker:       true,
+			Scale:        trace.SpaceScale,
+			Prog:         prog,
+			CoRunners:    []node.CoRunner{{Profile: noise, SeedOffset: 3}},
+			Housekeeping: true,
+		})
+		m, proc := rt.Machine, rt.Proc
 
 		gt := trace.NewGroundTruth(prog, 0, 0)
 		m.Listener = func(th *sched.Thread, now simtime.Time, ev binary.BranchEvent) {
@@ -479,11 +464,11 @@ func runAccBench(cfg Config) (*Result, error) {
 			}
 		}
 		m.Run(100 * simtime.Millisecond)
-		ctrl := core.NewController(m)
+		ctrl := rt.Controller()
 		ccfg := core.DefaultConfig()
 		ccfg.Period = period
 		ccfg.Scale = trace.SpaceScale
-		ccfg.Seed = mcfg.Seed
+		ccfg.Seed = m.Cfg.Seed
 		// A tighter budget than the deployment default for the compute
 		// suite: the accuracy gap the paper reports comes from the
 		// memory-space threshold, so those windows must actually stress

@@ -10,6 +10,7 @@ import (
 	"exist/internal/ipt"
 	"exist/internal/kernel"
 	"exist/internal/memalloc"
+	"exist/internal/node"
 	"exist/internal/parallel"
 	"exist/internal/sched"
 	"exist/internal/simtime"
@@ -204,21 +205,24 @@ func runCaseStudy(cfg Config) (*Result, error) {
 	rec := workload.CaseStudyApps()[4] // Recommend
 	prog := rec.Synthesize(cfg.Seed ^ 0xD1A6)
 
-	mcfg := sched.DefaultConfig()
-	mcfg.Cores = 8
-	mcfg.HTSiblings = false
-	mcfg.Seed = cfg.Seed ^ 0x5417
-	mcfg.Timeslice = 500 * simtime.Microsecond
 	// This node's log disk is degraded: synchronous writes stall for
 	// ~300 ms (the paper's incident saw 3.7 s — longer than any tracing
 	// window; a shorter stall lets several blocking episodes fall inside
 	// one window so the trace itself shows the pattern).
 	tbl := kernel.DefaultSyscallTable()
 	tbl[kernel.SysFileWriteSlow].BlockMean = 280 * simtime.Millisecond
-	mcfg.Syscalls = tbl
-	m := sched.NewMachine(mcfg)
-	rec.Threads = 4
-	proc := rec.Install(m, workload.InstallOpts{Walker: true, Scale: trace.SpaceScale, Prog: prog, Seed: mcfg.Seed})
+	rt := node.Provision(node.Spec{
+		Cores:     8,
+		Timeslice: 500 * simtime.Microsecond,
+		Seed:      cfg.Seed ^ 0x5417,
+		Syscalls:  tbl,
+		Workload:  rec,
+		Threads:   4,
+		Walker:    true,
+		Scale:     trace.SpaceScale,
+		Prog:      prog,
+	})
+	m, proc := rt.Machine, rt.Proc
 
 	// The culprit: a synchronous logging thread in the same process. Its
 	// writes block on disk for hundreds of milliseconds; siblings then
@@ -227,10 +231,12 @@ func runCaseStudy(cfg Config) (*Result, error) {
 	logWeights[kernel.SysFileWriteSlow] = 1
 	// The logger executes the same (scaled) binary as its siblings; its
 	// distinguishing behaviour is the paced synchronous write.
-	logger := sched.NewWalkerExec(prog, xrand.Split(mcfg.Seed, "logger"), mcfg.Cost, trace.SpaceScale).
+	// The logger spawns before housekeeping so thread IDs (and thus the
+	// scheduler's realization) match the original hand-built sequence.
+	logger := sched.NewWalkerExec(prog, xrand.Split(m.Cfg.Seed, "logger"), m.Cfg.Cost, trace.SpaceScale).
 		WithPacing(110*simtime.Millisecond, logWeights)
 	logThread := m.SpawnThread(proc, logger)
-	addHousekeeping(m, mcfg.Seed+91)
+	node.AddHousekeeping(m, m.Cfg.Seed+91)
 	// Data-flow extension (§6.1): syscall classes enter the trace stream
 	// as PTWRITE operands, so the blocking call is identifiable from the
 	// trace itself rather than from external instrumentation.
@@ -256,7 +262,7 @@ func runCaseStudy(cfg Config) (*Result, error) {
 	// (§3.1): the first long blocking write produces the response-time
 	// spike, monitoring flags it, and the tracing window opens while the
 	// anomaly is still unfolding.
-	ctrl := core.NewController(m)
+	ctrl := rt.Controller()
 	ccfg := core.DefaultConfig()
 	ccfg.Period = durQuick(cfg, 600*simtime.Millisecond, 1500*simtime.Millisecond)
 	ccfg.Scale = trace.SpaceScale
@@ -265,7 +271,7 @@ func runCaseStudy(cfg Config) (*Result, error) {
 	// sampling, so the mostly-idle logging thread's core is covered too —
 	// and the full 1 GB node budget.
 	ccfg.Mem = memalloc.Config{Budget: 1 << 30, PerCoreMin: 4 << 20, PerCoreMax: 128 << 20, SampleRatio: 1}
-	ccfg.Seed = mcfg.Seed
+	ccfg.Seed = m.Cfg.Seed
 	var sess *core.Session
 	var traceErr error
 	triggered := false

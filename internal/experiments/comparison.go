@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"exist/internal/metrics"
+	"exist/internal/node"
 	"exist/internal/parallel"
 	"exist/internal/service"
 	"exist/internal/simtime"
@@ -48,11 +49,10 @@ func computeOverheads(cfg Config) (map[string]map[SchemeKind]float64, []workload
 		if cores < 1 {
 			cores = 1
 		}
-		opts := nodeOpts{
-			Cores:     cores * 2,
-			Dur:       dur,
-			CoRunners: []workload.Profile{filler},
-			Seed:      uint64(len(p.Name))*31 + 7,
+		spec := node.Spec{
+			Cores: cores * 2,
+			Dur:   dur,
+			Seed:  uint64(len(p.Name))*31 + 7,
 		}
 		// Co-locate the filler on the same cores as the target (Figure
 		// 3a's shared-pod setting).
@@ -60,10 +60,10 @@ func computeOverheads(cfg Config) (map[string]map[SchemeKind]float64, []workload
 		for i := range tc {
 			tc[i] = i
 		}
-		opts.TargetCores = tc
-		opts.CoRunnerCores = [][]int{tc}
+		spec.TargetCores = tc
+		spec.CoRunners = coRunners([]workload.Profile{filler}, [][]int{tc})
 
-		results, err := sweepSchemes(cfg, p, opts)
+		results, err := sweepSchemes(cfg, p, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +132,7 @@ func onlineNodeOverheads(cfg Config) (map[string]map[SchemeKind]float64, error) 
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
 	benches := workload.OnlineBenchmarks()
 	rows, err := parallel.MapErr(len(benches), cfg.Jobs, func(i int) (map[SchemeKind]float64, error) {
-		results, err := sweepSchemes(cfg, benches[i], nodeOpts{Cores: 8, Dur: dur, Seed: 17})
+		results, err := sweepSchemes(cfg, benches[i], node.Spec{Cores: 8, Dur: dur, Seed: 17})
 		if err != nil {
 			return nil, err
 		}

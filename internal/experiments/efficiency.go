@@ -6,6 +6,7 @@ import (
 	"exist/internal/cluster"
 	"exist/internal/core"
 	"exist/internal/coverage"
+	"exist/internal/node"
 	"exist/internal/parallel"
 	"exist/internal/service"
 	"exist/internal/simtime"
@@ -73,7 +74,7 @@ func runFig15(cfg Config) (*Result, error) {
 			cells = append(cells, cell{s, lowThreads}, cell{s, app.Threads})
 		}
 		pairs, err := parallel.MapErr(len(cells), cfg.Jobs, func(ci int) (pair, error) {
-			r, err := runNode(cfg, app, cells[ci].scheme, nodeOpts{
+			r, err := measure(cfg, app, cells[ci].scheme, node.Spec{
 				Cores: 8, Dur: dur, Seed: 1500 + uint64(ai), Threads: cells[ci].threads,
 			})
 			if err != nil {
@@ -127,7 +128,7 @@ func runFig16(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
-	sweep, err := sweepSchemes(cfg, s1, nodeOpts{Cores: 8, Dur: dur, Seed: 1600})
+	sweep, err := sweepSchemes(cfg, s1, node.Spec{Cores: 8, Dur: dur, Seed: 1600})
 	if err != nil {
 		return nil, err
 	}
@@ -213,13 +214,12 @@ func runTab04(cfg Config) (*Result, error) {
 		// The profile's own thread count runs on four cores, with the
 		// node agent co-located: NHT's unfiltered tracers capture the
 		// co-runner too, while EXIST's CR3 filter excludes it.
-		rs, err := parallel.MapErr(len(schemes), cfg.Jobs, func(si int) (nodeResult, error) {
-			return runNode(cfg, p, schemes[si], nodeOpts{
+		rs, err := parallel.MapErr(len(schemes), cfg.Jobs, func(si int) (node.Result, error) {
+			return measure(cfg, p, schemes[si], node.Spec{
 				Cores: 4, Dur: dur, Seed: 1700 + uint64(wi),
-				TargetCores:   []int{0, 1, 2, 3},
-				CoRunners:     []workload.Profile{agent},
-				CoRunnerCores: [][]int{{0, 1, 2, 3}},
-				MemBudget:     500 << 20,
+				TargetCores: []int{0, 1, 2, 3},
+				CoRunners:   coRunners([]workload.Profile{agent}, [][]int{{0, 1, 2, 3}}),
+				MemBudget:   500 << 20,
 			})
 		})
 		if err != nil {

@@ -3,17 +3,16 @@ package experiments
 import (
 	"fmt"
 
-	"exist/internal/baselines"
-	"exist/internal/core"
-	"exist/internal/memalloc"
+	"exist/internal/node"
 	"exist/internal/parallel"
-	"exist/internal/sched"
 	"exist/internal/simtime"
-	"exist/internal/trace"
 	"exist/internal/workload"
 )
 
-// SchemeKind selects a tracing scheme in comparison sweeps.
+// SchemeKind selects a tracing scheme in comparison sweeps. It is a thin
+// view over the tracer registry: Backend returns the registered name the
+// node runtime instantiates, so adding a backend means registering it in
+// package tracer and listing it here.
 type SchemeKind int
 
 // The comparison schemes of Table 2.
@@ -43,206 +42,52 @@ func (k SchemeKind) String() string {
 	}
 }
 
+// Backend returns the tracer-registry name the scheme resolves to.
+func (k SchemeKind) Backend() string { return k.String() }
+
 // ComparisonSchemes is the standard sweep order.
 var ComparisonSchemes = []SchemeKind{SchemeOracle, SchemeEXIST, SchemeStaSam, SchemeEBPF, SchemeNHT}
 
-// nodeOpts parameterizes one node-level measurement run.
-type nodeOpts struct {
-	// Cores sizes the machine.
-	Cores int
-	// HT enables hyperthread pairing.
-	HT bool
-	// Dur is the measured window.
-	Dur simtime.Duration
-	// CoRunners are co-located workloads sharing the machine.
-	CoRunners []workload.Profile
-	// CoRunnerCores optionally pins co-runners (nil: share all cores).
-	CoRunnerCores [][]int
-	// TargetCores optionally pins the target (nil: profile default).
-	TargetCores []int
-	// Walker selects branch-exact execution at Scale.
-	Walker bool
-	Scale  float64
-	// MemBudget bounds EXIST's buffers (0: a compact default that keeps
-	// efficiency runs cheap; space experiments pass the paper's 500 MB).
-	MemBudget int64
-	// Threads overrides the profile thread count (0: profile default).
-	Threads int
-	// Seed perturbs the run.
-	Seed uint64
-	// KeepSession asks for the EXIST session payload.
-	KeepSession bool
-	// CollectSwitchPeriods enables Figure 8 sampling.
-	CollectSwitchPeriods bool
+// measure runs one workload under one scheme on the standard measurement
+// substrate: spec.Seed is the per-run perturbation (folded into cfg.Seed
+// here), the timeslice is fixed at 1 ms so round-robin quantization stays
+// well below the per-mille effects being measured, and node supplies the
+// 8-core / 2 s defaults.
+//
+// The machine seed must NOT depend on the scheme: overhead comparisons
+// are paired, so every scheme must see the identical workload realization
+// (same syscall draws, same block durations). Per-thread RNG streams make
+// the realization robust to the small timing shifts the schemes
+// themselves introduce.
+func measure(cfg Config, p workload.Profile, scheme SchemeKind, spec node.Spec) (node.Result, error) {
+	spec.Workload = p
+	spec.Backend = scheme.Backend()
+	spec.Seed = cfg.Seed ^ spec.Seed
+	spec.Timeslice = 1 * simtime.Millisecond
+	return node.Run(spec)
 }
 
-// nodeResult is one run's measurements.
-type nodeResult struct {
-	Machine  *sched.Machine
-	Proc     *sched.Process
-	Stats    sched.ThreadStats
-	CPI      float64
-	UtilFrac float64
-	SpaceMB  float64
-	MSROps   int64
-	Session  *trace.Session
-	EXIST    *core.Session
-	NHT      *baselines.NHT
+// coRunners pairs co-located profiles with optional core pins under the
+// measurement convention's seed offsets: the i-th co-runner installs at
+// machine seed + 101·i.
+func coRunners(ps []workload.Profile, cores [][]int) []node.CoRunner {
+	out := make([]node.CoRunner, len(ps))
+	for i, p := range ps {
+		out[i] = node.CoRunner{Profile: p, SeedOffset: uint64(i) * 101}
+		if cores != nil && i < len(cores) {
+			out[i].Cores = cores[i]
+		}
+	}
+	return out
 }
 
-// Overhead returns the fractional cycle-throughput loss vs a baseline run.
-func (r nodeResult) Overhead(base nodeResult) float64 {
-	if r.Stats.Cycles == 0 {
-		return 0
-	}
-	return float64(base.Stats.Cycles)/float64(r.Stats.Cycles) - 1
-}
-
-// Inflation returns the service-time inflation vs a baseline run: the
-// on-CPU wall time (user + charged kernel) per unit of retired work. For
-// I/O-heavy services this is the right overhead metric — blocking slack
-// hides tracing costs from raw cycle throughput, but every request still
-// takes proportionally longer on-CPU, which is what queueing amplifies.
-func (r nodeResult) Inflation(base nodeResult) float64 {
-	per := func(x nodeResult) float64 {
-		if x.Stats.Cycles == 0 {
-			return 0
-		}
-		return float64(x.Stats.CPUTime+x.Stats.KernelTime) / float64(x.Stats.Cycles)
-	}
-	b := per(base)
-	if b == 0 {
-		return 0
-	}
-	return per(r)/b - 1
-}
-
-// runNode executes one workload under one scheme and measures it.
-func runNode(cfg Config, p workload.Profile, scheme SchemeKind, opts nodeOpts) (nodeResult, error) {
-	if opts.Cores == 0 {
-		opts.Cores = 8
-	}
-	if opts.Dur == 0 {
-		opts.Dur = 2 * simtime.Second
-	}
-	mcfg := sched.DefaultConfig()
-	mcfg.Cores = opts.Cores
-	mcfg.HTSiblings = opts.HT
-	// The seed must NOT depend on the scheme: overhead comparisons are
-	// paired, so every scheme must see the identical workload realization
-	// (same syscall draws, same block durations). Per-thread RNG streams
-	// make the realization robust to the small timing shifts the schemes
-	// themselves introduce.
-	mcfg.Seed = cfg.Seed ^ opts.Seed
-	mcfg.CollectSwitchPeriods = opts.CollectSwitchPeriods
-	// A fine timeslice keeps round-robin quantization well below the
-	// per-mille effects being measured.
-	mcfg.Timeslice = 1 * simtime.Millisecond
-	m := sched.NewMachine(mcfg)
-
-	install := workload.InstallOpts{
-		Walker:  opts.Walker,
-		Scale:   opts.Scale,
-		Allowed: opts.TargetCores,
-		Seed:    mcfg.Seed,
-	}
-	tp := p
-	if opts.Threads > 0 {
-		tp.Threads = opts.Threads
-	}
-	target := tp.Install(m, install)
-	for i, co := range opts.CoRunners {
-		coOpt := workload.InstallOpts{Seed: mcfg.Seed + uint64(i)*101}
-		if opts.CoRunnerCores != nil && i < len(opts.CoRunnerCores) {
-			coOpt.Allowed = opts.CoRunnerCores[i]
-		}
-		co.Install(m, coOpt)
-	}
-
-	res := nodeResult{Machine: m, Proc: target}
-	scale := 1.0
-	if opts.Walker {
-		scale = opts.Scale
-		if scale <= 0 {
-			scale = 1e-4
-		}
-	}
-
-	var existSess *core.Session
-	var schemeImpl baselines.Scheme
-	switch scheme {
-	case SchemeOracle:
-	case SchemeEXIST:
-		ctrl := core.NewController(m)
-		c := core.DefaultConfig()
-		c.Period = opts.Dur // "tracing systems turned on for the entire experiments"
-		c.Scale = scale
-		c.Seed = mcfg.Seed
-		if opts.MemBudget > 0 {
-			c.Mem = memalloc.Config{Budget: opts.MemBudget, PerCoreMin: 4 << 20, PerCoreMax: 128 << 20}
-		} else if !opts.Walker {
-			// Full-rate analytic runs fill buffers fast; cap the memory
-			// the measurement itself allocates unless space is the point.
-			c.Mem = memalloc.Config{Budget: 64 << 20, PerCoreMin: 2 << 20, PerCoreMax: 16 << 20}
-		}
-		s, err := ctrl.Trace(target, c)
-		if err != nil {
-			return res, fmt.Errorf("EXIST trace: %w", err)
-		}
-		existSess = s
-	case SchemeStaSam:
-		schemeImpl = baselines.NewStaSam()
-	case SchemeEBPF:
-		schemeImpl = baselines.NewEBPF()
-	case SchemeNHT:
-		n := baselines.NewNHT(scale)
-		res.NHT = n
-		schemeImpl = n
-	}
-	if schemeImpl != nil {
-		if err := schemeImpl.Attach(m, target); err != nil {
-			return res, fmt.Errorf("%s attach: %w", schemeImpl.Name(), err)
-		}
-	}
-
-	m.Run(opts.Dur)
-	if schemeImpl != nil {
-		schemeImpl.Stop(m.Eng.Now())
-		res.SpaceMB = schemeImpl.SpaceMB()
-	}
-	if existSess != nil {
-		sess, err := existSess.Result()
-		if err != nil {
-			return res, fmt.Errorf("EXIST result: %w", err)
-		}
-		res.EXIST = existSess
-		res.SpaceMB = sess.SpaceMB()
-		res.MSROps = existSess.Stats.MSROps
-		if opts.KeepSession {
-			res.Session = sess
-		}
-	}
-	if res.NHT != nil {
-		res.MSROps = res.NHT.MSROps()
-		if opts.KeepSession {
-			res.Session = res.NHT.Session(p.Name)
-		}
-	}
-
-	res.Stats = target.Stats()
-	res.CPI = target.CPI(m.Cfg.Cost)
-	capacity := float64(opts.Dur) * float64(opts.Cores)
-	res.UtilFrac = (float64(m.TotalBusyNS()) + float64(m.TotalKernelNS())) / capacity
-	return res, nil
-}
-
-// sweepSchemes runs a workload under every comparison scheme with shared
-// options and returns results indexed by scheme. Schemes run concurrently
-// (each runNode builds its own machine; seeds never depend on run order).
-func sweepSchemes(cfg Config, p workload.Profile, opts nodeOpts) (map[SchemeKind]nodeResult, error) {
-	results, err := parallel.MapErr(len(ComparisonSchemes), cfg.Jobs, func(i int) (nodeResult, error) {
+// sweepSchemes runs a workload under every comparison scheme with a shared
+// spec and returns results indexed by scheme. Schemes run concurrently
+// (each cell builds its own machine; seeds never depend on run order).
+func sweepSchemes(cfg Config, p workload.Profile, spec node.Spec) (map[SchemeKind]node.Result, error) {
+	results, err := parallel.MapErr(len(ComparisonSchemes), cfg.Jobs, func(i int) (node.Result, error) {
 		s := ComparisonSchemes[i]
-		r, err := runNode(cfg, p, s, opts)
+		r, err := measure(cfg, p, s, spec)
 		if err != nil {
 			return r, fmt.Errorf("%s under %s: %w", p.Name, s, err)
 		}
@@ -251,7 +96,7 @@ func sweepSchemes(cfg Config, p workload.Profile, opts nodeOpts) (map[SchemeKind
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[SchemeKind]nodeResult, len(ComparisonSchemes))
+	out := make(map[SchemeKind]node.Result, len(ComparisonSchemes))
 	for i, s := range ComparisonSchemes {
 		out[s] = results[i]
 	}

@@ -5,6 +5,7 @@ import (
 
 	"exist/internal/cpu"
 	"exist/internal/metrics"
+	"exist/internal/node"
 	"exist/internal/service"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
@@ -62,13 +63,12 @@ func runFig03a(cfg Config) (*Result, error) {
 	}
 	// measure runs A (optionally sharing cores with B) under a scheme and
 	// returns both processes' cycle counts.
-	measure := func(scheme SchemeKind, shared bool) (aCyc, bCyc int64, err error) {
-		opts := nodeOpts{Cores: 8, Dur: dur, TargetCores: cores, Seed: 301, Threads: 4}
+	measureAB := func(scheme SchemeKind, shared bool) (aCyc, bCyc int64, err error) {
+		spec := node.Spec{Cores: 8, Dur: dur, TargetCores: cores, Seed: 301, Threads: 4}
 		if shared {
-			opts.CoRunners = []workload.Profile{b}
-			opts.CoRunnerCores = [][]int{cores}
+			spec.CoRunners = coRunners([]workload.Profile{b}, [][]int{cores})
 		}
-		r, err := runNode(cfg, a, scheme, opts)
+		r, err := measure(cfg, a, scheme, spec)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -89,15 +89,15 @@ func runFig03a(cfg Config) (*Result, error) {
 		Header: []string{"setting", "Sampling F=4000", "Tracing w/ IPT"},
 	}
 	for _, s := range []setting{{"Exclusive Pod A w/ Profiling", false}, {"Shared Pod A w/ Profiling", true}} {
-		baseA, _, err := measure(SchemeOracle, s.shared)
+		baseA, _, err := measureAB(SchemeOracle, s.shared)
 		if err != nil {
 			return nil, err
 		}
-		samA, _, err := measure(SchemeStaSam, s.shared)
+		samA, _, err := measureAB(SchemeStaSam, s.shared)
 		if err != nil {
 			return nil, err
 		}
-		iptA, _, err := measure(SchemeNHT, s.shared)
+		iptA, _, err := measureAB(SchemeNHT, s.shared)
 		if err != nil {
 			return nil, err
 		}
@@ -111,15 +111,15 @@ func runFig03a(cfg Config) (*Result, error) {
 		}
 	}
 	// The innocent co-located pod.
-	_, baseB, err := measure(SchemeOracle, true)
+	_, baseB, err := measureAB(SchemeOracle, true)
 	if err != nil {
 		return nil, err
 	}
-	_, samB, err := measure(SchemeStaSam, true)
+	_, samB, err := measureAB(SchemeStaSam, true)
 	if err != nil {
 		return nil, err
 	}
-	_, iptB, err := measure(SchemeNHT, true)
+	_, iptB, err := measureAB(SchemeNHT, true)
 	if err != nil {
 		return nil, err
 	}
@@ -231,12 +231,13 @@ func runFig04(cfg Config) (*Result, error) {
 	var prevSwitches int64
 	for _, sc := range scenarios {
 		for _, scheme := range []SchemeKind{SchemeOracle, SchemeNHT} {
-			opts := nodeOpts{Cores: 8, Dur: dur, TargetCores: cores, Seed: 401, Threads: 4}
-			opts.CoRunners = sc.cos
+			spec := node.Spec{Cores: 8, Dur: dur, TargetCores: cores, Seed: 401, Threads: 4}
+			var coCores [][]int
 			for range sc.cos {
-				opts.CoRunnerCores = append(opts.CoRunnerCores, cores)
+				coCores = append(coCores, cores)
 			}
-			r, err := runNode(cfg, a, scheme, opts)
+			spec.CoRunners = coRunners(sc.cos, coCores)
+			r, err := measure(cfg, a, scheme, spec)
 			if err != nil {
 				return nil, err
 			}
@@ -289,16 +290,15 @@ func runFig05(cfg Config) (*Result, error) {
 	}
 	var exclusiveBase int64
 	for _, ar := range arrangements {
-		opts := nodeOpts{Cores: 16, HT: ar.ht, Dur: dur, TargetCores: target, Seed: 501, Threads: 4}
+		spec := node.Spec{Cores: 16, HT: ar.ht, Dur: dur, TargetCores: target, Seed: 501, Threads: 4}
 		if ar.coCores != nil {
-			opts.CoRunners = []workload.Profile{co}
-			opts.CoRunnerCores = [][]int{ar.coCores}
+			spec.CoRunners = coRunners([]workload.Profile{co}, [][]int{ar.coCores})
 		}
-		base, err := runNode(cfg, ms, SchemeOracle, opts)
+		base, err := measure(cfg, ms, SchemeOracle, spec)
 		if err != nil {
 			return nil, err
 		}
-		traced, err := runNode(cfg, ms, SchemeNHT, opts)
+		traced, err := measure(cfg, ms, SchemeNHT, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -321,12 +321,12 @@ func runFig08(cfg Config) (*Result, error) {
 	mc, _ := workload.ByName("mc")
 	ms, _ := workload.ByName("ms")
 	dur := durQuick(cfg, 1*simtime.Second, 5*simtime.Second)
-	opts := nodeOpts{
+	spec := node.Spec{
 		Cores: 8, Dur: dur, Seed: 801,
-		CoRunners:            []workload.Profile{ms},
+		CoRunners:            coRunners([]workload.Profile{ms}, nil),
 		CollectSwitchPeriods: true,
 	}
-	r, err := runNode(cfg, mc, SchemeOracle, opts)
+	r, err := measure(cfg, mc, SchemeOracle, spec)
 	if err != nil {
 		return nil, err
 	}

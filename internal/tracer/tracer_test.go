@@ -1,0 +1,109 @@
+package tracer
+
+import (
+	"strings"
+	"testing"
+
+	"exist/internal/baselines"
+)
+
+// Compile-time compliance table: every implementation behind the registry
+// satisfies Backend, and each capability extension is claimed by exactly
+// the backends the harvest logic expects.
+var (
+	_ Backend = baselines.Oracle{}
+	_ Backend = (*baselines.StaSam)(nil)
+	_ Backend = (*baselines.EBPF)(nil)
+	_ Backend = (*baselines.NHT)(nil)
+	_ Backend = (*EXIST)(nil)
+
+	_ SessionBackend = (*baselines.NHT)(nil)
+	_ SessionBackend = (*EXIST)(nil)
+	_ MSRBackend     = (*baselines.NHT)(nil)
+	_ MSRBackend     = (*EXIST)(nil)
+	_ ErrBackend     = (*EXIST)(nil)
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"EXIST", "NHT", "Oracle", "StaSam", "eBPF"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", got, want)
+	}
+	have := map[string]bool{}
+	for _, n := range got {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("backend %q not registered (have %v)", n, got)
+		}
+	}
+}
+
+func TestNewResolvesEveryRegisteredName(t *testing.T) {
+	for _, name := range Names() {
+		b, err := New(name, Options{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if b == nil {
+			t.Fatalf("New(%q) returned nil backend", name)
+		}
+		if b.Name() != name {
+			t.Errorf("New(%q).Name() = %q; registry name and backend name must agree", name, b.Name())
+		}
+	}
+}
+
+func TestNewUnknownBackend(t *testing.T) {
+	_, err := New("no-such-scheme", Options{})
+	if err == nil {
+		t.Fatal("New on an unknown name must fail")
+	}
+	if !strings.Contains(err.Error(), "no-such-scheme") || !strings.Contains(err.Error(), "EXIST") {
+		t.Errorf("error should name the missing backend and list candidates: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", what)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate registration", func() {
+		Register("EXIST", func(Options) Backend { return nil })
+	})
+	mustPanic("empty name", func() {
+		Register("", func(Options) Backend { return nil })
+	})
+	mustPanic("nil factory", func() {
+		Register("nil-factory", nil)
+	})
+}
+
+// NHT is the only baseline that consumes Options; check the wiring.
+func TestNHTFactoryOptions(t *testing.T) {
+	b, err := New("NHT", Options{Scale: 0.25, FilterTarget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := b.(*baselines.NHT)
+	if n.Scale != 0.25 {
+		t.Errorf("NHT scale = %v, want 0.25", n.Scale)
+	}
+	if !n.FilterTarget {
+		t.Error("NHT FilterTarget option not wired through")
+	}
+	b, err = New("NHT", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := b.(*baselines.NHT).Scale; s != 1 {
+		t.Errorf("NHT default scale = %v, want 1", s)
+	}
+}
