@@ -188,12 +188,16 @@ type benchResult struct {
 // convention as the publishedSOTA rows in Table 3. decode_hot/encode_hot
 // predate the parallel-harness PR; marshal_hot/unmarshal_hot are the
 // reflection-based (encoding/binary) v1 serializer before the v2 wire
-// format replaced it.
+// format replaced it; sched_hot/tracer_hot predate the simulation-engine
+// fast path (per-event closure emission, per-packet output, container/heap
+// event queue).
 var prePRBaselines = map[string]benchResult{
 	"decode_hot":    {NsPerOp: 22_900_000, AllocsPerOp: 1195, BytesPerOp: 15_402_504},
 	"encode_hot":    {NsPerOp: 21_900_000, AllocsPerOp: 20, BytesPerOp: 67_111_138},
 	"marshal_hot":   {NsPerOp: 206_617, AllocsPerOp: 16, BytesPerOp: 1_159_471},
 	"unmarshal_hot": {NsPerOp: 102_445, AllocsPerOp: 32, BytesPerOp: 401_730},
+	"sched_hot":     {NsPerOp: 63_196, AllocsPerOp: 178, BytesPerOp: 9_025},
+	"tracer_hot":    {NsPerOp: 1_478_338, AllocsPerOp: 0, BytesPerOp: 0},
 }
 
 // datapathStats records exact encoded sizes of the decode-hot fixture
@@ -232,6 +236,28 @@ func measureHotPaths() (map[string]benchResult, datapathStats) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			hotbench.EncodeOnce(encProg, 2, budget)
+		}
+	}))
+
+	// Simulation-engine hot paths: the walker segment loop end to end, and
+	// the tracer's batched packet-generation path on a canned event stream.
+	sb := hotbench.NewSchedBench(1)
+	windowBytes := sb.RunWindow()
+	hot["sched_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(windowBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sb.RunWindow()
+		}
+	}))
+	trEvs := hotbench.Events(hotbench.Program(1), 1, 2_000_000)
+	trHot := hotbench.NewHotTracer(1 << 20)
+	trBytes := hotbench.TracerHotOnce(trHot, trEvs)
+	hot["tracer_hot"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(trBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hotbench.TracerHotOnce(trHot, trEvs)
 		}
 	}))
 

@@ -483,18 +483,27 @@ type Counters struct {
 	CatHits [NumCategories]int64
 }
 
-// addBlock charges one executed block to the counters.
-func (c *Counters) addBlock(p *Program, id BlockID) {
-	b := &p.Blocks[id]
-	c.Cycles += int64(b.Cycles)
-	c.Insns += int64(b.Insns)
-	c.CatHits[p.Funcs[b.Func].Category]++
-	for cls := 0; cls < NumMemClasses; cls++ {
-		for w := 0; w < 4; w++ {
-			c.MemOps[cls][w] += int64(b.MemOps[cls][w])
-		}
+// BranchSink receives batches of branch events in execution order. The
+// slice is a view into the walker's internal batch buffer: it is only
+// valid for the duration of the call and must not be retained.
+type BranchSink interface {
+	EmitBranches(evs []BranchEvent)
+}
+
+// funcSink adapts a per-event callback to the batch interface for the
+// legacy Walker.Run signature.
+type funcSink func(BranchEvent)
+
+func (f funcSink) EmitBranches(evs []BranchEvent) {
+	for i := range evs {
+		f(evs[i])
 	}
 }
+
+// branchBatchSize is the walker's emission batch: big enough to amortize
+// the per-batch sink dispatch and the tracer's per-batch setup over many
+// events, small enough (4 KiB of events) to stay cache-resident.
+const branchBatchSize = 128
 
 // Walker executes a Program deterministically from a seed. It is the
 // ground-truth execution engine: every control transfer it performs is
@@ -504,8 +513,24 @@ type Walker struct {
 	rng   *xrand.Rand
 	cur   BlockID
 	stack []BlockID
-	// Count holds the running dynamic statistics.
+	// Count holds the running dynamic statistics. Cycles, Insns and the
+	// event counters (Branches, Syscalls, ...) are live after every
+	// Run/RunBatch; the per-block aggregates (MemOps, CatHits,
+	// FuncEntries) are deferred across runs and folded in by Settle.
 	Count Counters
+
+	// batch is the pending emission buffer; events accumulate here and are
+	// handed to the sink branchBatchSize at a time.
+	batch    [branchBatchSize]BranchEvent
+	batchLen int
+	// visits/touched and funcVisits/funcTouched defer the per-block and
+	// per-function-entry charging of one run: the hot loop records one
+	// counter increment per block, and settleCounters multiplies out the
+	// per-block costs once per distinct block instead of once per visit.
+	visits      []int64
+	touched     []BlockID
+	funcVisits  []int64
+	funcTouched []int32
 }
 
 // maxCallDepth bounds the simulated call stack; deeper direct recursion
@@ -535,13 +560,40 @@ func (w *Walker) CurrentAddr() uint64 { return w.prog.Blocks[w.cur].Addr }
 //
 // The cycle accounting is inclusive: the block containing the syscall is
 // fully executed (and charged) before the walker stops.
+//
+// Run is the per-event compatibility wrapper over RunBatch; emit receives
+// the same events in the same order, delivered batch by batch.
 func (w *Walker) Run(budget int64, emit func(BranchEvent)) (used int64, reason StopReason, syscallClass uint8) {
+	if emit == nil {
+		return w.RunBatch(budget, nil)
+	}
+	return w.RunBatch(budget, funcSink(emit))
+}
+
+// RunBatch is the batched fast path of Run: control-transfer events
+// accumulate in a fixed-size internal batch and are handed to sink
+// branchBatchSize at a time (and once more at segment end), so the hot
+// loop pays one dynamic dispatch per batch instead of one closure call
+// per event. sink may be nil for counting-only runs. Cycles, Insns and
+// the event counters are live when RunBatch returns; the per-block
+// aggregates stay deferred until Settle.
+func (w *Walker) RunBatch(budget int64, sink BranchSink) (used int64, reason StopReason, syscallClass uint8) {
 	p := w.prog
+	if w.visits == nil {
+		w.visits = make([]int64, len(p.Blocks))
+		w.funcVisits = make([]int64, len(p.Funcs))
+	}
+	blocks := p.Blocks
+	var insns int64
 	for used < budget {
 		id := w.cur
-		b := &p.Blocks[id]
+		b := &blocks[id]
 		used += int64(b.Cycles)
-		w.Count.addBlock(p, id)
+		insns += int64(b.Insns)
+		if w.visits[id] == 0 {
+			w.touched = append(w.touched, id)
+		}
+		w.visits[id]++
 
 		var next BlockID
 		switch b.Term {
@@ -556,10 +608,10 @@ func (w *Walker) Run(budget int64, emit func(BranchEvent)) (used int64, reason S
 			} else {
 				next = b.Fall
 			}
-			if emit != nil {
-				emit(BranchEvent{
+			if sink != nil {
+				w.pushEvent(sink, BranchEvent{
 					Block: id, Target: next,
-					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					From: p.endAddr(id), To: blocks[next].Addr,
 					Kind: TermCond, Taken: taken,
 				})
 			}
@@ -569,10 +621,10 @@ func (w *Walker) Run(budget int64, emit func(BranchEvent)) (used int64, reason S
 			next = w.pickTarget(b)
 			w.Count.Branches++
 			w.Count.IndirectBranches++
-			if emit != nil {
-				emit(BranchEvent{
+			if sink != nil {
+				w.pushEvent(sink, BranchEvent{
 					Block: id, Target: next,
-					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					From: p.endAddr(id), To: blocks[next].Addr,
 					Kind: TermIndirectJump,
 				})
 			}
@@ -590,10 +642,10 @@ func (w *Walker) Run(budget int64, emit func(BranchEvent)) (used int64, reason S
 				w.stack = append(w.stack, b.Fall)
 			}
 			w.noteEntry(next)
-			if emit != nil {
-				emit(BranchEvent{
+			if sink != nil {
+				w.pushEvent(sink, BranchEvent{
 					Block: id, Target: next,
-					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					From: p.endAddr(id), To: blocks[next].Addr,
 					Kind: TermIndirectCall,
 				})
 			}
@@ -608,32 +660,98 @@ func (w *Walker) Run(budget int64, emit func(BranchEvent)) (used int64, reason S
 			}
 			w.Count.Branches++
 			w.Count.IndirectBranches++
-			if emit != nil {
-				emit(BranchEvent{
+			if sink != nil {
+				w.pushEvent(sink, BranchEvent{
 					Block: id, Target: next,
-					From: p.endAddr(id), To: p.Blocks[next].Addr,
+					From: p.endAddr(id), To: blocks[next].Addr,
 					Kind: TermReturn,
 				})
 			}
 		case TermSyscall:
 			w.Count.Syscalls++
 			w.cur = b.Fall
+			w.Count.Cycles += used
+			w.Count.Insns += insns
+			w.finishRun(sink)
 			return used, StopSyscall, b.SyscallClass
 		default:
 			panic(fmt.Sprintf("binary: bad terminator %d in %q", b.Term, p.Name))
 		}
 		w.cur = next
 	}
+	w.Count.Cycles += used
+	w.Count.Insns += insns
+	w.finishRun(sink)
 	return used, StopBudget, 0
 }
 
-// noteEntry records a function entry in the occurrence histogram.
+// pushEvent appends one event to the pending batch, flushing to the sink
+// when the batch fills.
+func (w *Walker) pushEvent(sink BranchSink, ev BranchEvent) {
+	w.batch[w.batchLen] = ev
+	w.batchLen++
+	if w.batchLen == branchBatchSize {
+		sink.EmitBranches(w.batch[:branchBatchSize])
+		w.batchLen = 0
+	}
+}
+
+// finishRun flushes the pending event batch; every RunBatch exit path
+// goes through it. Deferred aggregates are left pending — short segments
+// re-touch the same working set, so settling per simulation (Settle)
+// rather than per segment charges each distinct block once, not once per
+// timeslice.
+func (w *Walker) finishRun(sink BranchSink) {
+	if w.batchLen > 0 {
+		sink.EmitBranches(w.batch[:w.batchLen])
+		w.batchLen = 0
+	}
+}
+
+// Settle folds the deferred per-block visit counts into the aggregate
+// counters (MemOps, CatHits, FuncEntries). Call it before reading those
+// fields. Integer sums are associative, so the totals are bit-identical
+// to per-visit charging no matter how many runs a settle spans.
+func (w *Walker) Settle() { w.settleCounters() }
+
+// settleCounters multiplies the accumulated per-block visit counts into
+// the cumulative counters and resets the pending sets.
+func (w *Walker) settleCounters() {
+	p := w.prog
+	for _, id := range w.touched {
+		n := w.visits[id]
+		w.visits[id] = 0
+		b := &p.Blocks[id]
+		w.Count.CatHits[p.Funcs[b.Func].Category] += n
+		for cls := 0; cls < NumMemClasses; cls++ {
+			for wd := 0; wd < 4; wd++ {
+				if v := b.MemOps[cls][wd]; v != 0 {
+					w.Count.MemOps[cls][wd] += n * int64(v)
+				}
+			}
+		}
+	}
+	w.touched = w.touched[:0]
+	if len(w.funcTouched) > 0 {
+		if w.Count.FuncEntries == nil {
+			w.Count.FuncEntries = make(map[int32]int64)
+		}
+		for _, fn := range w.funcTouched {
+			w.Count.FuncEntries[fn] += w.funcVisits[fn]
+			w.funcVisits[fn] = 0
+		}
+		w.funcTouched = w.funcTouched[:0]
+	}
+}
+
+// noteEntry records a function entry in the occurrence histogram
+// (deferred; settleCounters folds it into Count.FuncEntries).
 func (w *Walker) noteEntry(target BlockID) {
 	fn := w.prog.Blocks[target].Func
-	if w.Count.FuncEntries == nil {
-		w.Count.FuncEntries = make(map[int32]int64)
+	if w.funcVisits[fn] == 0 {
+		w.funcTouched = append(w.funcTouched, fn)
 	}
-	w.Count.FuncEntries[fn]++
+	w.funcVisits[fn]++
 }
 
 // pickTarget selects an indirect terminator's destination.

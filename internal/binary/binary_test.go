@@ -234,6 +234,7 @@ func TestFuncEntriesHistogram(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		w.Run(10_000, nil)
 	}
+	w.Settle()
 	if len(w.Count.FuncEntries) == 0 {
 		t.Fatal("no function entries recorded")
 	}

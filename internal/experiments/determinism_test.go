@@ -59,3 +59,40 @@ func TestRunAllOrderAndErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRepeatedRunDeterminism runs a representative experiment subset twice
+// on fresh engines with the same seed and requires byte-identical rendered
+// output and identical metrics. This is the property that lets golden
+// stdout diffs gate engine fast-path rewrites; fig14 covers walker-exact
+// tracing, fig18 the analytic efficiency path, tab03 the tabular summary
+// pipeline.
+func TestRepeatedRunDeterminism(t *testing.T) {
+	for _, id := range []string{"fig14", "fig18", "tab03"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() *Result {
+				res, err := e.Run(Config{Quick: true, Seed: 1, Jobs: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			first := run()
+			second := run()
+			if got, want := second.Render(), first.Render(); got != want {
+				t.Errorf("rendered output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", want, got)
+			}
+			if got, want := len(second.Metrics), len(first.Metrics); got != want {
+				t.Fatalf("metric count differs: second run has %d, first has %d", got, want)
+			}
+			for name, want := range first.Metrics {
+				if got, ok := second.Metrics[name]; !ok || got != want {
+					t.Errorf("metric %s: second run %v, first run %v", name, got, want)
+				}
+			}
+		})
+	}
+}

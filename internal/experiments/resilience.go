@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"exist/internal/cluster"
 	"exist/internal/coverage"
@@ -124,12 +125,16 @@ func runResilienceLevel(cfg Config, fc faults.Config, ref map[string]float64) (r
 // histMatch is the distribution-overlap accuracy of a decoded function
 // histogram against a reference (string-keyed WeightMatch).
 func histMatch(ref, got map[string]float64) float64 {
+	// All accumulation walks sorted keys: float addition is not associative,
+	// and map order would otherwise wobble the score's last ulp across runs.
+	refKeys := sortedHistKeys(ref)
+	gotKeys := sortedHistKeys(got)
 	var refTotal, gotTotal float64
-	for _, v := range ref {
-		refTotal += v
+	for _, k := range refKeys {
+		refTotal += ref[k]
 	}
-	for _, v := range got {
-		gotTotal += v
+	for _, k := range gotKeys {
+		gotTotal += got[k]
 	}
 	if refTotal == 0 && gotTotal == 0 {
 		return 1
@@ -138,15 +143,25 @@ func histMatch(ref, got map[string]float64) float64 {
 		return 0
 	}
 	var err float64
-	for k, v := range ref {
-		err += math.Abs(v/refTotal - got[k]/gotTotal)
+	for _, k := range refKeys {
+		err += math.Abs(ref[k]/refTotal - got[k]/gotTotal)
 	}
-	for k, v := range got {
+	for _, k := range gotKeys {
 		if _, ok := ref[k]; !ok {
-			err += v / gotTotal
+			err += got[k] / gotTotal
 		}
 	}
 	return (2 - err) / 2
+}
+
+// sortedHistKeys returns a histogram's keys in ascending order.
+func sortedHistKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func runResilience(cfg Config) (*Result, error) {

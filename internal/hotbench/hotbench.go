@@ -87,11 +87,10 @@ func EncodeOnce(prog *binary.Program, seed uint64, budget int64) int64 {
 		panic(err)
 	}
 	w := binary.NewWalker(prog, xrand.Split(seed, "hotbench/encode"))
+	sink := &tracerSink{tr: tr}
 	var used int64
 	for used < budget {
-		n, _, _ := w.Run(budget-used, func(ev binary.BranchEvent) {
-			tr.OnBranch(0, ev)
-		})
+		n, _, _ := w.RunBatch(budget-used, sink)
 		if n <= 0 {
 			break
 		}

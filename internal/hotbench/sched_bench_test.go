@@ -1,0 +1,51 @@
+package hotbench
+
+import (
+	"testing"
+)
+
+// TestSchedWindowAllocs pins the steady-state allocation rate of the
+// segment loop. Batched emission means segments no longer allocate a
+// closure each; what remains is the engine's event traffic. A regression
+// back to per-segment allocation trips the bound.
+func TestSchedWindowAllocs(t *testing.T) {
+	s := NewSchedBench(1)
+	for i := 0; i < 4; i++ {
+		s.RunWindow() // warm buffer pools and slice capacities
+	}
+	avg := testing.AllocsPerRun(8, func() { s.RunWindow() })
+	if avg > 160 {
+		t.Fatalf("sched window allocates too much: %.1f allocs/run (want <= 160)", avg)
+	}
+}
+
+// BenchmarkSchedHot measures the walker segment loop end to end: the
+// scheduler dispatching oversubscribed walker threads, the per-branch
+// pipeline into the enabled core tracers, and the event-queue traffic the
+// segments generate. One op is one 2 ms virtual window on the canned
+// 4-core machine.
+func BenchmarkSchedHot(b *testing.B) {
+	s := NewSchedBench(1)
+	bytes := s.RunWindow() // warm up pools and measure nominal volume
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunWindow()
+	}
+}
+
+// BenchmarkTracerHot measures the tracer ingestion path on a canned
+// ground-truth event stream: batched TNT/TIP encoding plus staged packet
+// output into a ring ToPA.
+func BenchmarkTracerHot(b *testing.B) {
+	prog := Program(1)
+	evs := Events(prog, 1, 2_000_000)
+	tr := NewHotTracer(1 << 20)
+	b.SetBytes(TracerHotOnce(tr, evs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TracerHotOnce(tr, evs)
+	}
+}

@@ -1,0 +1,128 @@
+package hotbench
+
+import (
+	"exist/internal/binary"
+	"exist/internal/ipt"
+	"exist/internal/sched"
+	"exist/internal/simtime"
+	"exist/internal/xrand"
+)
+
+// tracerSink feeds walker batches straight into a tracer's staged
+// packet-generation path, as the scheduler's segment loop does.
+type tracerSink struct {
+	tr  *ipt.Tracer
+	now simtime.Time
+}
+
+// EmitBranches implements binary.BranchSink.
+func (s *tracerSink) EmitBranches(evs []binary.BranchEvent) { s.tr.OnBranchBatch(s.now, evs) }
+
+// TracerHotOnce replays the canned event stream through the tracer's batched
+// ingestion path in walker-sized batches and returns the bytes emitted.
+func TracerHotOnce(tr *ipt.Tracer, evs []binary.BranchEvent) int64 {
+	before := tr.Stats.Bytes
+	const batch = 128 // matches the walker's emission batch size
+	for i := 0; i < len(evs); i += batch {
+		j := i + batch
+		if j > len(evs) {
+			j = len(evs)
+		}
+		tr.OnBranchBatch(0, evs[i:j])
+	}
+	tr.Flush()
+	return tr.Stats.Bytes - before
+}
+
+// Events replays prog for the given cycle budget and returns the canned
+// ground-truth branch stream. The tracer hot-path benchmarks feed this
+// stream through the packet-generation path without paying for the walk
+// on every iteration.
+func Events(prog *binary.Program, seed uint64, budget int64) []binary.BranchEvent {
+	w := binary.NewWalker(prog, xrand.Split(seed, "hotbench/events"))
+	evs := make([]binary.BranchEvent, 0, budget/16)
+	var used int64
+	for used < budget {
+		n, _, _ := w.Run(budget-used, func(ev binary.BranchEvent) {
+			evs = append(evs, ev)
+		})
+		if n <= 0 {
+			break
+		}
+		used += n
+	}
+	return evs
+}
+
+// NewHotTracer returns an enabled tracer writing into a ring-mode chain of
+// the given size; ring mode keeps repeated benchmark iterations in steady
+// state (the chain never stops, so every iteration does identical work).
+func NewHotTracer(size int) *ipt.Tracer {
+	tr := ipt.NewTracer(0)
+	if err := tr.SetOutput(ipt.NewToPA([]int{size}, true)); err != nil {
+		panic(err)
+	}
+	if err := tr.WriteCtl(0, ipt.DefaultCtl()|ipt.CtlTraceEn); err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// SchedBench is a reusable walker-segment benchmark machine: a small
+// oversubscribed node running branch-exact walker threads under an enabled
+// per-core tracer, the configuration that dominates the walker experiments
+// (fig14-16, tab03/04). RunWindow advances the simulation one fixed window
+// of virtual time; iterations continue the same timeline, so per-window
+// work is steady.
+type SchedBench struct {
+	// M is the machine under test.
+	M *sched.Machine
+	// Window is the virtual duration one RunWindow covers.
+	Window simtime.Duration
+}
+
+// NewSchedBench builds the canned benchmark machine.
+func NewSchedBench(seed uint64) *SchedBench {
+	cfg := sched.DefaultConfig()
+	cfg.Cores = 4
+	cfg.HTSiblings = true
+	cfg.Timeslice = 500 * simtime.Microsecond
+	cfg.Seed = seed
+	m := sched.NewMachine(cfg)
+
+	prog := Program(seed)
+	p := m.AddProcess("hot-target", prog, sched.CPUShare, m.AllCores())
+	for i := 0; i < 6; i++ {
+		exec := sched.NewWalkerExec(prog, xrand.SplitN(seed, "hotbench/sched", i), cfg.Cost, 1e-3).
+			WithPacing(200*simtime.Microsecond, []float64{1})
+		m.SpawnThread(p, exec)
+	}
+	for _, c := range m.Cores {
+		// Ring output keeps tracers in steady state across windows.
+		if err := c.Tracer.SetOutput(ipt.NewToPA([]int{1 << 20}, true)); err != nil {
+			panic(err)
+		}
+		if err := c.Tracer.SetCR3Match(p.CR3); err != nil {
+			panic(err)
+		}
+		if err := c.Tracer.WriteCtl(0, ipt.DefaultCtl()|ipt.CtlTraceEn); err != nil {
+			panic(err)
+		}
+	}
+	return &SchedBench{M: m, Window: 2 * simtime.Millisecond}
+}
+
+// RunWindow advances the machine one benchmark window and returns the
+// trace bytes produced during it.
+func (s *SchedBench) RunWindow() int64 {
+	var before int64
+	for _, c := range s.M.Cores {
+		before += c.Tracer.Stats.Bytes
+	}
+	s.M.Run(s.M.Eng.Now() + s.Window)
+	var after int64
+	for _, c := range s.M.Cores {
+		after += c.Tracer.Stats.Bytes
+	}
+	return after - before
+}

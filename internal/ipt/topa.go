@@ -1,14 +1,15 @@
 package ipt
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 )
 
-// Region backing arrays are drawn from per-size-class pools so that
-// repeated tracing windows (sweep cells, benchmarks) reuse multi-megabyte
-// buffers instead of re-allocating them. Pool i holds *[]byte of capacity
-// exactly 1<<i; a request is rounded up to the next power of two.
+// Payload backing arrays are drawn from per-size-class pools so that
+// repeated tracing windows (sweep cells, benchmarks) reuse buffers instead
+// of re-allocating them. Pool i holds *[]byte of capacity exactly 1<<i; a
+// request is rounded up to the next power of two.
 var regionPools [33]sync.Pool
 
 // getRegion returns an empty buffer whose capacity is the smallest power of
@@ -35,6 +36,13 @@ func putRegion(b []byte) {
 	regionPools[bits.Len(uint(c))-1].Put(&b)
 }
 
+// run is one stretch of materialized payload inside a region: n payload
+// bytes starting at payload[pos] that live at byte offset off of region
+// reg. Region bytes outside every run are zero (PAD).
+type run struct {
+	reg, off, pos, n int32
+}
+
 // ToPA models the Table of Physical Addresses output mechanism: a chain of
 // variable-sized memory regions that the tracer fills in order. Two end
 // behaviours exist, selected by the STOP bit of the last table entry:
@@ -45,12 +53,19 @@ func putRegion(b []byte) {
 //     tracing and caps memory use.
 //   - Ring mode (the REPT-style policy, kept for the ablation benchmarks):
 //     output wraps to the first region, overwriting the oldest data.
+//
+// Storage is logical: region contents are an implicit zero (PAD) background
+// with real packet bytes recorded as sparse runs over one shared payload
+// buffer. Zero-fill writes (aggregate branch bursts) only advance counters,
+// and a wrapped ring discards overwritten payload without ever having
+// materialized it; Bytes assembles the physical layout once, at read-out.
 type ToPA struct {
-	regions [][]byte
-	// sizes holds each region's configured size. Pooled backing arrays
-	// may have more capacity than requested, so usable space is tracked
-	// against sizes, never cap.
+	// sizes holds each region's configured size; vlens the logical number
+	// of bytes currently stored in each.
 	sizes    []int
+	vlens    []int
+	payload  []byte
+	runs     []run
 	cur      int
 	ring     bool
 	stopped  bool
@@ -71,9 +86,9 @@ func NewToPA(sizes []int, ring bool) *ToPA {
 		if s <= 0 {
 			panic("ipt: ToPA region size must be positive")
 		}
-		t.regions = append(t.regions, getRegion(s))
 		t.sizes = append(t.sizes, s)
 	}
+	t.vlens = make([]int, len(t.sizes))
 	return t
 }
 
@@ -93,8 +108,8 @@ func (t *ToPA) Capacity() int64 {
 // Used returns the number of valid bytes currently stored.
 func (t *ToPA) Used() int64 {
 	var u int64
-	for _, r := range t.regions {
-		u += int64(len(r))
+	for _, v := range t.vlens {
+		u += int64(v)
 	}
 	return u
 }
@@ -108,6 +123,20 @@ func (t *ToPA) Dropped() int64 { return t.dropped }
 // Stopped reports whether the STOP region has filled.
 func (t *ToPA) Stopped() bool { return t.stopped }
 
+// Remaining returns how many more bytes the chain will accept before it
+// stops. Ring-mode chains never stop and report math.MaxInt64. The staged
+// tracer output path uses this to pre-compute, without issuing a write per
+// packet, exactly which packet the per-packet path's stop would land on.
+func (t *ToPA) Remaining() int64 {
+	if t.ring {
+		return math.MaxInt64
+	}
+	if t.stopped {
+		return 0
+	}
+	return t.Capacity() - t.Used()
+}
+
 // Wrapped reports whether ring-mode output has overwritten old data.
 func (t *ToPA) Wrapped() bool { return t.wrapped }
 
@@ -116,70 +145,148 @@ func (t *ToPA) Wrapped() bool { return t.wrapped }
 // beyond the STOP region are counted as dropped and false is returned.
 func (t *ToPA) Write(p []byte) bool {
 	for len(p) > 0 {
-		if t.stopped {
+		space, ok := t.space()
+		if !ok {
 			t.dropped += int64(len(p))
 			return false
-		}
-		r := t.regions[t.cur]
-		space := t.sizes[t.cur] - len(r)
-		if space == 0 {
-			if !t.advance() {
-				continue // stopped; loop records the drop
-			}
-			r = t.regions[t.cur]
-			space = t.sizes[t.cur] - len(r)
 		}
 		n := len(p)
 		if n > space {
 			n = space
 		}
-		t.regions[t.cur] = append(r, p[:n]...)
+		off, pos := t.vlens[t.cur], len(t.payload)
+		t.ensurePayload(n)
+		t.payload = append(t.payload, p[:n]...)
+		t.addRun(off, pos, n)
+		t.vlens[t.cur] += n
 		t.written += int64(n)
 		p = p[n:]
 	}
 	return true
 }
 
+// WriteZeros appends n zero (PAD) bytes to the output chain — the
+// aggregate-burst fast path. The chain state afterwards is identical to
+// Write of n zero bytes, but nothing is materialized: only the counters
+// move.
+func (t *ToPA) WriteZeros(n int64) bool {
+	for n > 0 {
+		space, ok := t.space()
+		if !ok {
+			t.dropped += n
+			return false
+		}
+		k := n
+		if k > int64(space) {
+			k = int64(space)
+		}
+		t.vlens[t.cur] += int(k)
+		t.written += k
+		n -= k
+	}
+	return true
+}
+
+// space returns the writable bytes left in the current region, advancing
+// the chain (wrapping or stopping) when it is full. ok is false once the
+// chain has stopped.
+func (t *ToPA) space() (int, bool) {
+	for {
+		if t.stopped {
+			return 0, false
+		}
+		if s := t.sizes[t.cur] - t.vlens[t.cur]; s > 0 {
+			return s, true
+		}
+		t.advance()
+	}
+}
+
+// ensurePayload grows the payload buffer (through the buffer pools) to fit
+// n more bytes.
+func (t *ToPA) ensurePayload(n int) {
+	need := len(t.payload) + n
+	if need <= cap(t.payload) {
+		return
+	}
+	newCap := 2 * cap(t.payload)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 4096 {
+		newCap = 4096
+	}
+	nb := getRegion(newCap)[:len(t.payload)]
+	copy(nb, t.payload)
+	putRegion(t.payload)
+	t.payload = nb
+}
+
+// addRun records n payload bytes at the current region's write offset,
+// extending the previous run when contiguous (the common case: packet
+// writes with no PAD fill between them).
+func (t *ToPA) addRun(off, pos, n int) {
+	if k := len(t.runs); k > 0 {
+		r := &t.runs[k-1]
+		if int(r.reg) == t.cur && int(r.off)+int(r.n) == off && int(r.pos)+int(r.n) == pos {
+			r.n += int32(n)
+			return
+		}
+	}
+	t.runs = append(t.runs, run{reg: int32(t.cur), off: int32(off), pos: int32(pos), n: int32(n)})
+}
+
 // advance moves to the next region, wrapping or stopping at the end of the
-// chain. It reports whether writing can continue.
-func (t *ToPA) advance() bool {
-	if t.cur+1 < len(t.regions) {
+// chain.
+func (t *ToPA) advance() {
+	if t.cur+1 < len(t.sizes) {
 		t.cur++
-		return true
+		return
 	}
 	if t.ring {
 		t.wrapped = true
 		t.cur = 0
-		for i := range t.regions {
-			t.regions[i] = t.regions[i][:0]
+		for i := range t.vlens {
+			t.vlens[i] = 0
 		}
-		return true
+		t.runs = t.runs[:0]
+		t.payload = t.payload[:0]
+		return
 	}
 	t.stopped = true
-	return false
 }
 
-// Bytes returns the stored trace in write order. In a wrapped ring the
-// result starts mid-stream; decoders must Sync to the next PSB.
+// Bytes returns the stored trace in write order: the regions' logical
+// contents concatenated, zero background materialized and runs copied into
+// place. In a wrapped ring the result starts mid-stream; decoders must
+// Sync to the next PSB.
 func (t *ToPA) Bytes() []byte {
-	out := make([]byte, 0, t.Used())
-	for _, r := range t.regions {
-		out = append(out, r...)
+	base := make([]int64, len(t.vlens))
+	var total int64
+	for i, v := range t.vlens {
+		base[i] = total
+		total += int64(v)
+	}
+	out := make([]byte, total)
+	for _, r := range t.runs {
+		copy(out[base[r.reg]+int64(r.off):], t.payload[r.pos:r.pos+r.n])
 	}
 	return out
 }
 
 // Reset clears all regions and status for reuse in a new tracing window.
 func (t *ToPA) Reset() {
-	for i := range t.regions {
-		t.regions[i] = t.regions[i][:0]
+	for i := range t.vlens {
+		t.vlens[i] = 0
 	}
+	t.runs = t.runs[:0]
+	t.payload = t.payload[:0]
 	t.cur = 0
 	t.stopped, t.wrapped = false, false
 	t.written, t.dropped = 0, 0
 }
 
-// Release returns the region backing arrays to the buffer pools. The chain
+// Release returns the payload backing array to the buffer pools. The chain
 // must not be written after release; call it once the trace has been copied
 // out with Bytes. Releasing twice is a no-op.
 func (t *ToPA) Release() {
@@ -187,9 +294,7 @@ func (t *ToPA) Release() {
 		return
 	}
 	t.released = true
-	for i, r := range t.regions {
-		putRegion(r)
-		t.regions[i] = nil
-	}
-	t.regions = nil
+	putRegion(t.payload)
+	t.payload = nil
+	t.runs = nil
 }

@@ -53,9 +53,23 @@ type Tracer struct {
 	tntLen  int
 	psbLeft int
 	scratch []byte
+
+	// Staged-output state, live only inside OnBranchBatch: packets are
+	// encoded into chunk and flushed to the ToPA in stageFlushBytes
+	// pieces, with stageAvail mirroring the chain's remaining acceptance
+	// so status/stat bookkeeping matches the per-packet path exactly.
+	chunk       []byte
+	stageAvail  int64
+	stageFailed bool
+
 	// Stats accumulates output and control counters.
 	Stats Stats
 }
+
+// stageFlushBytes is the staged-output flush threshold: one ToPA write per
+// ~4 KiB of encoded packets instead of one per packet. It matches the PSB
+// period so a chunk spans at most two sync points.
+const stageFlushBytes = 4096
 
 // NewTracer returns the tracer for a core, disabled and unconfigured.
 func NewTracer(coreID int) *Tracer {
@@ -219,6 +233,127 @@ func (t *Tracer) OnBranch(now simtime.Time, ev binary.BranchEvent) {
 	t.emitTIP(PktTIP, ev.To)
 }
 
+// OnBranchBatch feeds a batch of retired control transfers to the tracer:
+// the amortized fast path the walker's batched emission drives. It is
+// byte- and stat-equivalent to calling OnBranch per event, but encodes
+// packets into a staging chunk and writes the chunk to the output chain in
+// stageFlushBytes pieces (and once at batch end) instead of issuing one
+// ToPA write per packet. The chain's remaining acceptance is tracked ahead
+// of the writes, so when output stops mid-batch the stored/dropped split,
+// Stats attribution, and status bits land on exactly the byte the
+// per-packet path would produce. No staged bytes survive the call: between
+// calls the tracer and its ToPA are in the same state as ever.
+func (t *Tracer) OnBranchBatch(now simtime.Time, evs []binary.BranchEvent) {
+	if !t.Enabled() || t.ctl&CtlBranchEn == 0 {
+		return
+	}
+	if !t.contextOn {
+		t.Stats.FilteredEvents += int64(len(evs))
+		return
+	}
+	if t.out.Stopped() {
+		t.Stats.DroppedEvents += int64(len(evs))
+		return
+	}
+	t.stageAvail = t.out.Remaining()
+	t.stageFailed = false
+	t.chunk = t.chunk[:0]
+	cyc := t.ctl&CtlCYCEn != 0
+	for i := range evs {
+		if t.stageFailed {
+			// The per-packet path re-checks out.Stopped() before every
+			// event; a failed staged write is that same boundary.
+			t.Stats.DroppedEvents += int64(len(evs) - i)
+			break
+		}
+		ev := &evs[i]
+		t.curIP = ev.To
+		if ev.Kind == binary.TermCond {
+			if ev.Taken {
+				t.tntBits |= 1 << uint(t.tntLen)
+			}
+			t.tntLen++
+			if t.tntLen == 6 {
+				t.stageTNT()
+			}
+			continue
+		}
+		// Indirect transfer: order is TNT flush, optional CYC, then TIP.
+		t.stageTNT()
+		if cyc {
+			p := len(t.chunk)
+			t.chunk = AppendCYC(t.chunk, 16)
+			t.stagePkt(p)
+		}
+		p := len(t.chunk)
+		t.chunk = AppendTIP(t.chunk, PktTIP, ev.To)
+		t.stagePkt(p)
+		t.Stats.TIPs++
+		if len(t.chunk) >= stageFlushBytes {
+			t.flushStage()
+		}
+	}
+	t.flushStage()
+}
+
+// stageTNT stages any buffered TNT bits as one short TNT packet (the
+// staged twin of flushTNT).
+func (t *Tracer) stageTNT() {
+	if t.tntLen == 0 {
+		return
+	}
+	p := len(t.chunk)
+	t.chunk = AppendTNT(t.chunk, t.tntBits, t.tntLen)
+	t.stagePkt(p)
+	t.Stats.TNTs++
+	t.tntBits, t.tntLen = 0, 0
+}
+
+// stagePkt performs emitRaw's bookkeeping for the packet staged at
+// chunk[prev:]: packet/byte counting, PSB insertion, and the stop
+// transition, all against the pre-computed remaining acceptance instead of
+// a live write.
+func (t *Tracer) stagePkt(prev int) {
+	n := len(t.chunk) - prev
+	t.Stats.Packets++
+	t.Stats.Bytes += int64(n)
+	if int64(n) > t.stageAvail {
+		// The per-packet write would come up short here: ToPA stores the
+		// prefix that fits (the chunk flush reproduces that split) and the
+		// tracer records the stop.
+		t.stageAvail = 0
+		t.stageFailed = true
+		t.status |= StatusStopped
+		return
+	}
+	t.stageAvail -= int64(n)
+	t.psbLeft -= n
+	if t.psbLeft <= 0 {
+		t.psbLeft = psbPeriod
+		p := len(t.chunk)
+		t.chunk = AppendPSBEND(AppendPSB(t.chunk))
+		pn := int64(len(t.chunk) - p)
+		if pn > t.stageAvail {
+			t.stageAvail = 0
+			t.stageFailed = true
+			t.status |= StatusStopped
+			return
+		}
+		t.stageAvail -= pn
+		t.Stats.PSBs++
+		t.Stats.Bytes += pn
+	}
+}
+
+// flushStage writes the staged chunk to the output chain in one call.
+func (t *Tracer) flushStage() {
+	if len(t.chunk) == 0 {
+		return
+	}
+	t.out.Write(t.chunk)
+	t.chunk = t.chunk[:0]
+}
+
 // Flush drains pending TNT bits without changing trace state; the kernel
 // calls it before reading out a window.
 func (t *Tracer) Flush() { t.flushTNT() }
@@ -259,14 +394,18 @@ func (t *Tracer) SwapOutputHot(now simtime.Time, out *ToPA) {
 	}
 }
 
-// bulkZeros is a reusable chunk of PAD bytes for aggregate output.
-var bulkZeros [4096]byte
+// bulkChunk is the presentation granularity of aggregate output: bursts
+// are offered to the chain in chunks this size, and a burst stops being
+// presented once the chain stops, so at most one partial chunk lands in
+// the chain's dropped-byte count.
+const bulkChunk = 4096
 
 // OnBulkBranches models a burst of branch activity in aggregate: cond
 // conditional and ind indirect transfers are charged at their encoded
 // sizes and written as PAD filler (which still parses). Analytic workload
 // models use this to exercise buffer occupancy, compulsory drop, and trace
-// volume without materializing individual packets.
+// volume without materializing individual packets. The filler takes the
+// chain's zero-fill fast path: counters move, no bytes do.
 func (t *Tracer) OnBulkBranches(now simtime.Time, cond, ind int64) {
 	if !t.Enabled() || t.ctl&CtlBranchEn == 0 {
 		return
@@ -284,24 +423,29 @@ func (t *Tracer) OnBulkBranches(now simtime.Time, cond, ind int64) {
 		perInd++ // plus CYC
 	}
 	total := (cond+5)/6 + ind*perInd
-	droppedBefore := t.out.Dropped()
+	writtenBefore := t.out.Written()
 	sent := int64(0)
 	for sent < total && !t.out.Stopped() {
 		n := total - sent
-		if n > int64(len(bulkZeros)) {
-			n = int64(len(bulkZeros))
+		if n > bulkChunk {
+			n = bulkChunk
 		}
-		if !t.out.Write(bulkZeros[:n]) {
+		if !t.out.WriteZeros(n) {
 			t.status |= StatusStopped
 		}
 		sent += n
 	}
-	if lost := t.out.Dropped() - droppedBefore; lost > 0 && total > 0 {
-		// Attribute event loss proportionally to the dropped byte tail.
+	// accepted is what the chain actually stored. The lost tail covers both
+	// bytes the chain rejected and bytes never presented once it stopped;
+	// event loss is attributed proportionally to it.
+	accepted := t.out.Written() - writtenBefore
+	if lost := total - accepted; lost > 0 && total > 0 {
 		t.Stats.DroppedEvents += (cond + ind) * lost / total
 	}
 	tnts := (cond + 5) / 6
-	t.Stats.Bytes += total
+	// Only accepted bytes count as trace output; the lost tail is already
+	// accounted by DroppedEvents (and by the chain's own counters).
+	t.Stats.Bytes += accepted
 	t.Stats.Packets += tnts + ind
 	t.Stats.TNTs += tnts
 	t.Stats.TIPs += ind

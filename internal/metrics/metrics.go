@@ -88,18 +88,31 @@ func WeightMatch(ref, got map[int32]int64) float64 {
 	if refTotal == 0 || gotTotal == 0 {
 		return 0
 	}
+	// Accumulate the L1 error in sorted key order: float addition is not
+	// associative, and map iteration order would otherwise make the last
+	// ulp of the score vary from run to run.
 	var err float64
-	for fn, n := range ref {
-		a := float64(n) / refTotal
+	for _, fn := range sortedKeys(ref) {
+		a := float64(ref[fn]) / refTotal
 		b := float64(got[fn]) / gotTotal
 		err += math.Abs(a - b)
 	}
-	for fn, n := range got {
+	for _, fn := range sortedKeys(got) {
 		if _, ok := ref[fn]; !ok {
-			err += float64(n) / gotTotal
+			err += float64(got[fn]) / gotTotal
 		}
 	}
 	return (2 - err) / 2
+}
+
+// sortedKeys returns a histogram's keys in ascending order.
+func sortedKeys(m map[int32]int64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Percentile returns the p-th percentile (0-100) of samples using

@@ -24,9 +24,10 @@ type RunContext struct {
 	// the thread's context passes the filter, so the Exec can charge the
 	// hardware packet-generation stretch.
 	TracingActive bool
-	// Emit receives the ground-truth branch stream; nil when nobody is
-	// listening (fast path).
-	Emit func(binary.BranchEvent)
+	// Sink receives the ground-truth branch stream in batches; nil when
+	// nobody is listening (fast path). Batches are views into a reused
+	// buffer, valid only for the duration of the EmitBranches call.
+	Sink binary.BranchSink
 }
 
 // RunResult reports what one segment did.
@@ -147,8 +148,8 @@ func (e *WalkerExec) Run(ctx *RunContext) RunResult {
 	if budget < 64 {
 		budget = 64
 	}
-	before := e.W.Count
-	used, reason, class := e.W.Run(budget, ctx.Emit)
+	cyc, ins, br := e.W.Count.Cycles, e.W.Count.Insns, e.W.Count.Branches
+	used, reason, class := e.W.RunBatch(budget, ctx.Sink)
 	usedNS := simtime.Duration(float64(used) / rate)
 	if usedNS < 1 {
 		usedNS = 1
@@ -167,9 +168,9 @@ func (e *WalkerExec) Run(ctx *RunContext) RunResult {
 	}
 	return RunResult{
 		UsedNS:       usedNS,
-		Cycles:       e.W.Count.Cycles - before.Cycles,
-		Insns:        e.W.Count.Insns - before.Insns,
-		Branches:     e.W.Count.Branches - before.Branches,
+		Cycles:       e.W.Count.Cycles - cyc,
+		Insns:        e.W.Count.Insns - ins,
+		Branches:     e.W.Count.Branches - br,
 		Stop:         reason,
 		SyscallClass: class,
 	}

@@ -4,8 +4,47 @@ import (
 	"fmt"
 
 	"exist/internal/binary"
+	"exist/internal/ipt"
 	"exist/internal/simtime"
 )
+
+// branchEmitter delivers a walker's batched branch events to the core's PT
+// tracer and the machine-wide listener. One lives inside each Core and is
+// repointed at segment start, so installing a sink allocates nothing.
+type branchEmitter struct {
+	tracer   *ipt.Tracer
+	listener BranchListener
+	thread   *Thread
+	now      simtime.Time
+	tracerOn bool
+}
+
+// EmitBranches implements binary.BranchSink.
+func (e *branchEmitter) EmitBranches(evs []binary.BranchEvent) {
+	if e.tracerOn {
+		e.tracer.OnBranchBatch(e.now, evs)
+	}
+	if e.listener != nil {
+		for i := range evs {
+			e.listener(e.thread, e.now, evs[i])
+		}
+	}
+}
+
+// setCur installs t (or nil) as the core's running thread, maintaining the
+// per-LLC occupancy counters consulted by interference. Every mutation of
+// c.cur must go through here.
+func (m *Machine) setCur(c *Core, t *Thread) {
+	if old := c.cur; old != nil {
+		m.llcRunning[c.LLC]--
+		old.Proc.llcRunning[c.LLC]--
+	}
+	c.cur = t
+	if t != nil {
+		m.llcRunning[c.LLC]++
+		t.Proc.llcRunning[c.LLC]++
+	}
+}
 
 // enqueue makes t runnable and places it on a core's runqueue.
 func (m *Machine) enqueue(t *Thread, now simtime.Time) {
@@ -35,20 +74,20 @@ func (m *Machine) requeueLocal(c *Core, t *Thread) {
 
 // pickCore selects a core for a waking thread: last-core affinity first,
 // then any idle allowed core, then the least-loaded allowed core.
+// Membership in the mapped core set is a bitmask test (Process.allowedHas)
+// and the affinity core's load is computed once and reused for the
+// tie-break, so waking costs no core-set scan.
 func (m *Machine) pickCore(t *Thread) int {
-	allowed := t.Proc.Allowed
-	if t.lastCore >= 0 && containsCore(allowed, t.lastCore) {
+	affine := t.lastCore >= 0 && t.Proc.allowedHas(t.lastCore)
+	if affine && len(m.Cores[t.lastCore].runq) == 0 {
 		// Wake-affinity: stay on the cache-hot core unless it is
 		// meaningfully loaded (CFS-like). This is also why CPU-share
 		// processes "tend to execute on a few cores" (§5.2), which is
 		// what makes UMA's core sampling cheap.
-		c := m.Cores[t.lastCore]
-		if len(c.runq) == 0 {
-			return t.lastCore
-		}
+		return t.lastCore
 	}
 	best, bestLoad := -1, 1<<30
-	for _, id := range allowed {
+	for _, id := range t.Proc.Allowed {
 		c := m.Cores[id]
 		load := len(c.runq)
 		if c.cur != nil {
@@ -62,7 +101,7 @@ func (m *Machine) pickCore(t *Thread) int {
 		}
 	}
 	// Prefer affinity on load ties.
-	if t.lastCore >= 0 && containsCore(allowed, t.lastCore) {
+	if affine {
 		c := m.Cores[t.lastCore]
 		load := len(c.runq)
 		if c.cur != nil {
@@ -73,15 +112,6 @@ func (m *Machine) pickCore(t *Thread) int {
 		}
 	}
 	return best
-}
-
-func containsCore(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 // kickDispatch arranges for the core to pick new work at the given time.
@@ -121,7 +151,7 @@ func (m *Machine) contextSwitch(c *Core, next *Thread, now simtime.Time) {
 	prev := c.prev
 	if prev == next && next != nil {
 		// Same thread resuming: not a switch.
-		c.cur = next
+		m.setCur(c, next)
 		next.State = Running
 		m.startSegment(c, next, now)
 		return
@@ -148,7 +178,7 @@ func (m *Machine) contextSwitch(c *Core, next *Thread, now simtime.Time) {
 	// per-switch tracing control visible in the thread's CPI.
 	next.Stats.KernelTime += cost
 	next.lastCore = c.ID
-	c.cur = next
+	m.setCur(c, next)
 	m.startSegment(c, next, now+cost)
 }
 
@@ -186,14 +216,12 @@ func (m *Machine) interference(c *Core, t *Thread) float64 {
 	if len(c.runq) > 0 {
 		f *= cost.CoreShare
 	}
-	for _, other := range m.Cores {
-		if other.ID == c.ID || other.LLC != c.LLC {
-			continue
-		}
-		if other.cur != nil && other.cur.Proc != t.Proc {
-			f *= cost.LLCShare
-			break
-		}
+	// "Another process runs in my cache domain": c itself runs t at this
+	// point, so it contributes one to both counters and cancels; any
+	// positive difference is a core in the domain running a different
+	// process. O(1) instead of a scan over all cores.
+	if m.llcRunning[c.LLC]-t.Proc.llcRunning[c.LLC] > 0 {
+		f *= cost.LLCShare
 	}
 	return f
 }
@@ -205,20 +233,16 @@ func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
 	rate := m.Cfg.Cost.FrequencyGHz / factor
 	tracingActive := c.Tracer.Enabled() && c.Tracer.ContextOn()
 
-	var emit func(binary.BranchEvent)
-	tracerListening := tracingActive
-	if tracerListening || m.Listener != nil {
-		tracer := c.Tracer
-		listener := m.Listener
-		thread := t
-		emit = func(ev binary.BranchEvent) {
-			if tracerListening {
-				tracer.OnBranch(now, ev)
-			}
-			if listener != nil {
-				listener(thread, now, ev)
-			}
+	var sink binary.BranchSink
+	if tracingActive || m.Listener != nil {
+		c.emitter = branchEmitter{
+			tracer:   c.Tracer,
+			listener: m.Listener,
+			thread:   t,
+			now:      now,
+			tracerOn: tracingActive,
 		}
+		sink = &c.emitter
 	}
 
 	ctx := RunContext{
@@ -227,7 +251,7 @@ func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
 		MaxNS:         m.Cfg.Timeslice,
 		CyclesPerNS:   rate,
 		TracingActive: tracingActive,
-		Emit:          emit,
+		Sink:          sink,
 	}
 	res := t.Exec.Run(&ctx)
 	if res.UsedNS <= 0 {
@@ -262,7 +286,7 @@ func (m *Machine) segmentEnd(c *Core, t *Thread, res RunResult, now simtime.Time
 	if c.cur != t {
 		panic("sched: segment completion for a thread no longer on its core")
 	}
-	c.cur = nil
+	m.setCur(c, nil)
 
 	if res.Stop == binary.StopSyscall {
 		spec := m.Syscall(res.SyscallClass)
@@ -294,7 +318,7 @@ func (m *Machine) segmentEnd(c *Core, t *Thread, res RunResult, now simtime.Time
 			m.kickDispatch(c, now+cost)
 			return
 		}
-		c.cur = t
+		m.setCur(c, t)
 		m.startSegment(c, t, now+cost)
 		return
 	}
@@ -305,6 +329,6 @@ func (m *Machine) segmentEnd(c *Core, t *Thread, res RunResult, now simtime.Time
 		m.kickDispatch(c, now)
 		return
 	}
-	c.cur = t
+	m.setCur(c, t)
 	m.startSegment(c, t, now)
 }

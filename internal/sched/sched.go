@@ -68,6 +68,11 @@ type Config struct {
 	Seed uint64
 	// CollectSwitchPeriods enables the Figure 8 period sampling.
 	CollectSwitchPeriods bool
+	// SwitchPeriodHint presizes the Figure 8 sample slices: an estimate of
+	// the total switch count over the run (window / switch period). Zero
+	// selects a default chunk; the hint only affects capacity, never
+	// content.
+	SwitchPeriodHint int
 	// Engine, when non-nil, is a shared virtual clock; multi-node
 	// simulations give every machine the same engine so cluster-level
 	// orchestration and node-level scheduling interleave in one timeline.
@@ -160,6 +165,17 @@ type Process struct {
 	Threads []*Thread
 
 	lastSwitchAt simtime.Time
+	// allowedMask is the Allowed core set as a bitmask (one uint64 word
+	// per 64 cores), so affinity checks cost one load instead of a scan.
+	allowedMask []uint64
+	// llcRunning counts, per LLC domain, how many cores currently run one
+	// of this process's threads; see Machine.interference.
+	llcRunning []int32
+}
+
+// allowedHas reports whether core id is in the process's mapped core set.
+func (p *Process) allowedHas(id int) bool {
+	return p.allowedMask[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // Stats aggregates the process's thread statistics.
@@ -205,6 +221,10 @@ type Core struct {
 	cur  *Thread
 	prev *Thread
 	runq []*Thread
+
+	// emitter is the core's reusable branch-batch sink; startSegment
+	// repoints it at the segment's thread so segments allocate nothing.
+	emitter branchEmitter
 
 	dispatchPending bool
 	lastSwitchAt    simtime.Time
@@ -306,6 +326,11 @@ type Machine struct {
 	nextPID      int
 	nextTID      int
 	rng          *xrand.Rand
+	// llcRunning counts, per LLC domain, the cores with a running thread;
+	// together with Process.llcRunning it gives interference its
+	// "another process runs in my cache domain" answer in O(1) instead of
+	// a scan over all cores.
+	llcRunning []int32
 }
 
 // NewMachine builds a machine from cfg.
@@ -328,10 +353,20 @@ func NewMachine(cfg Config) *Machine {
 		eng = simtime.NewEngine()
 	}
 	m := &Machine{
-		Cfg:      cfg,
-		Eng:      eng,
-		syscalls: syscalls,
-		rng:      xrand.Split(cfg.Seed, "sched/machine"),
+		Cfg:        cfg,
+		Eng:        eng,
+		syscalls:   syscalls,
+		rng:        xrand.Split(cfg.Seed, "sched/machine"),
+		llcRunning: make([]int32, cfg.LLCGroups),
+	}
+	if cfg.CollectSwitchPeriods {
+		hint := cfg.SwitchPeriodHint
+		if hint <= 0 {
+			hint = 4096
+		}
+		m.Stats.SwitchPeriodsAll = make([]float64, 0, hint)
+		m.Stats.SwitchPeriodsByCore = make([]float64, 0, hint)
+		m.Stats.SwitchPeriodsByProc = make([]float64, 0, hint)
 	}
 	perLLC := (cfg.Cores + cfg.LLCGroups - 1) / cfg.LLCGroups
 	for i := 0; i < cfg.Cores; i++ {
@@ -376,12 +411,17 @@ func (m *Machine) AddProcess(name string, prog *binary.Program, mode ProvisionMo
 		}
 	}
 	p := &Process{
-		PID:     m.nextPID + 1,
-		Name:    name,
-		CR3:     0x100000 + uint64(m.nextPID+1)<<12,
-		Prog:    prog,
-		Mode:    mode,
-		Allowed: append([]int(nil), allowed...),
+		PID:         m.nextPID + 1,
+		Name:        name,
+		CR3:         0x100000 + uint64(m.nextPID+1)<<12,
+		Prog:        prog,
+		Mode:        mode,
+		Allowed:     append([]int(nil), allowed...),
+		allowedMask: make([]uint64, (len(m.Cores)+63)/64),
+		llcRunning:  make([]int32, m.Cfg.LLCGroups),
+	}
+	for _, c := range allowed {
+		p.allowedMask[c>>6] |= 1 << (uint(c) & 63)
 	}
 	m.nextPID++
 	m.Procs = append(m.Procs, p)

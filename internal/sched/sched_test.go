@@ -486,3 +486,48 @@ func TestAccountingInvariants(t *testing.T) {
 		t.Fatal("no kernel time accounted")
 	}
 }
+
+func TestAffinityMaskWideMachine(t *testing.T) {
+	// 96 cores spans two allowedMask words; the allowed set straddles the
+	// word boundary so both words and the bit arithmetic are exercised.
+	m := newTestMachine(96)
+	allowed := []int{3, 17, 63, 64, 70, 95}
+	p := m.AddProcess("wide", nil, CPUSet, allowed)
+	inSet := make(map[int]bool, len(allowed))
+	for _, id := range allowed {
+		inSet[id] = true
+	}
+	for id := 0; id < len(m.Cores); id++ {
+		if got := p.allowedHas(id); got != inSet[id] {
+			t.Fatalf("allowedHas(%d) = %v, want %v", id, got, inSet[id])
+		}
+	}
+
+	for i := 0; i < 10; i++ {
+		analyticSyscalls(m, p, i+1, 200_000, 0)
+	}
+	m.Run(200 * simtime.Millisecond)
+
+	var busyAllowed simtime.Duration
+	for id, c := range m.Cores {
+		if inSet[id] {
+			busyAllowed += c.BusyNS
+			continue
+		}
+		if c.BusyNS != 0 || c.Switches != 0 {
+			t.Errorf("core %d outside the mapped set ran work (busy=%v switches=%d)", id, c.BusyNS, c.Switches)
+		}
+	}
+	if busyAllowed == 0 {
+		t.Fatal("no work ran on the mapped core set")
+	}
+	// Oversubscribed (10 threads on 6 cores): the high-word cores must be
+	// usable, not just the low word.
+	var busyHigh simtime.Duration
+	for _, id := range []int{64, 70, 95} {
+		busyHigh += m.Cores[id].BusyNS
+	}
+	if busyHigh == 0 {
+		t.Fatal("cores in the second mask word never ran work")
+	}
+}
