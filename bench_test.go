@@ -79,6 +79,11 @@ func BenchmarkAblationHotSwap(b *testing.B)    { runExperiment(b, "ablation-hots
 
 func BenchmarkResilience(b *testing.B) { runExperiment(b, "resilience") }
 
+// Chaos extension: replicated controllers with leader election under
+// crash/partition/gray-failure storms at fleet scale.
+
+func BenchmarkChaos(b *testing.B) { runExperiment(b, "chaos") }
+
 // Data-path extension: v2 wire-format compression and batched uploads.
 
 func BenchmarkDatapath(b *testing.B) { runExperiment(b, "datapath") }

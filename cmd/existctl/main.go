@@ -13,6 +13,14 @@
 // resilient control plane (retries, leases, re-sampling, deadlines).
 // -cancel-after aborts the request mid-flight and deletes it, walking the
 // full CRD lifecycle.
+//
+// Chaos scenarios are likewise opt-in: -replicas runs N controller
+// replicas with lease-based leader election, and -ctrl-crash-mtbf /
+// -partition-mtbf / -gray-prob / -clock-skew select controller-crash,
+// store-partition, gray-failure, and clock-skew storms. With -replicas
+// set, the run ends with an availability/failover summary:
+//
+//	existctl -replicas 3 -ctrl-crash-mtbf 1s -partition-mtbf 800ms
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"exist/internal/cluster"
 	"exist/internal/coverage"
 	"exist/internal/faults"
+	"exist/internal/metrics"
 	"exist/internal/simtime"
 	"exist/internal/trace"
 	"exist/internal/workload"
@@ -45,6 +54,15 @@ func main() {
 		crashMTBF   = flag.Duration("crash-mtbf", 0, "node mean time between crashes (0 = no crashes)")
 		faultSeed   = flag.Uint64("fault-seed", 42, "fault-injection seed")
 
+		replicas      = flag.Int("replicas", 0, "controller replicas with leader election (0 = serial control plane)")
+		ctrlCrashMTBF = flag.Duration("ctrl-crash-mtbf", 0, "controller mean time between crashes (0 = none)")
+		ctrlCrashDown = flag.Duration("ctrl-crash-down", 0, "controller crash downtime (0 = default)")
+		partitionMTBF = flag.Duration("partition-mtbf", 0, "controller-store partition mean time between events (0 = none)")
+		partitionDur  = flag.Duration("partition-dur", 0, "mean partition duration (0 = default)")
+		grayProb      = flag.Float64("gray-prob", 0, "probability a node is a gray failure (late heartbeats)")
+		grayDelay     = flag.Duration("gray-delay", 0, "mean extra heartbeat delay on gray nodes (0 = default)")
+		clockSkew     = flag.Duration("clock-skew", 0, "max controller clock skew for lease stamps (0 = none)")
+
 		cancelAfter = flag.Duration("cancel-after", 0, "cancel and delete the request after this virtual time (0 = run to completion)")
 	)
 	flag.Parse()
@@ -63,14 +81,22 @@ func main() {
 	ccfg.Nodes = *nodes
 	ccfg.CoresPerNode = *cores
 	ccfg.Seed = *seed
+	ccfg.Replicas = *replicas
 	fc := faults.Config{
-		Seed:            *faultSeed,
-		PutFailProb:     *putFailProb,
-		SessionLossProb: *lossProb,
-		CorruptProb:     *corruptProb,
-		TruncateProb:    *truncProb,
-		StallProb:       *stallProb,
-		CrashMTBF:       simtime.Duration(crashMTBF.Nanoseconds()),
+		Seed:              *faultSeed,
+		PutFailProb:       *putFailProb,
+		SessionLossProb:   *lossProb,
+		CorruptProb:       *corruptProb,
+		TruncateProb:      *truncProb,
+		StallProb:         *stallProb,
+		CrashMTBF:         simtime.Duration(crashMTBF.Nanoseconds()),
+		CtrlCrashMTBF:     simtime.Duration(ctrlCrashMTBF.Nanoseconds()),
+		CtrlCrashDowntime: simtime.Duration(ctrlCrashDown.Nanoseconds()),
+		PartitionMTBF:     simtime.Duration(partitionMTBF.Nanoseconds()),
+		PartitionMeanDur:  simtime.Duration(partitionDur.Nanoseconds()),
+		GrayNodeProb:      *grayProb,
+		GrayDelayMean:     simtime.Duration(grayDelay.Nanoseconds()),
+		ClockSkewMax:      simtime.Duration(clockSkew.Nanoseconds()),
 	}
 	faultsOn := fc != (faults.Config{Seed: *faultSeed})
 	if faultsOn {
@@ -85,6 +111,13 @@ func main() {
 	if faultsOn {
 		fmt.Printf("existctl: fault injection ON (seed=%d loss=%.2f corrupt=%.2f truncate=%.2f put-fail=%.2f stall=%.2f crash-mtbf=%v)\n",
 			*faultSeed, *lossProb, *corruptProb, *truncProb, *putFailProb, *stallProb, *crashMTBF)
+	}
+	if *ctrlCrashMTBF > 0 || *partitionMTBF > 0 || *grayProb > 0 || *clockSkew > 0 {
+		fmt.Printf("existctl: chaos scenario ON (ctrl-crash-mtbf=%v partition-mtbf=%v gray-prob=%.2f gray-delay=%v clock-skew=%v)\n",
+			*ctrlCrashMTBF, *partitionMTBF, *grayProb, *grayDelay, *clockSkew)
+	}
+	if *replicas > 0 {
+		fmt.Printf("existctl: replicated control plane: %d controllers competing for the leader lease\n", *replicas)
 	}
 
 	req, err := c.Request("existctl-request", cluster.TraceRequestSpec{
@@ -107,6 +140,22 @@ func main() {
 			fmt.Printf("existctl: [%v] operator cancel of %s\n", now, req.Name)
 			c.Cancel(req)
 		})
+	}
+
+	// With a replicated control plane, sample the active-leader count
+	// through the run: safety demands it never exceeds one.
+	maxLeaders := 0
+	if *replicas > 0 {
+		var sample func(now simtime.Time)
+		sample = func(now simtime.Time) {
+			if n := c.ActiveLeaders(now); n > maxLeaders {
+				maxLeaders = n
+			}
+			if now < 5*simtime.Second {
+				c.Eng.AfterDetached(10*simtime.Millisecond, sample)
+			}
+		}
+		c.Eng.AfterDetached(10*simtime.Millisecond, sample)
 	}
 
 	c.Run(5 * simtime.Second)
@@ -138,6 +187,17 @@ func main() {
 			st.PutFailures, st.SessionsLost, st.SessionsCorrupted, st.SessionsTruncated, st.Crashes, st.Stalls)
 		fmt.Printf("existctl: control plane absorbed: %d retries, %d re-samples, %d lease expiries\n",
 			c.Mgmt.Retries, c.Mgmt.Resamples, c.Mgmt.LeaseExpiries)
+	}
+	if *replicas > 0 && c.Leases != nil {
+		avail, gaps := c.Leases.Availability(c.Eng.Now().Seconds())
+		fmt.Printf("existctl: availability/failover summary (%d replicas):\n", *replicas)
+		fmt.Printf("  leader availability       %.4f (%d leadership gaps)\n", avail, gaps)
+		fmt.Printf("  elections / failovers     %d / %d\n", c.Leases.Elections(), c.Leases.Failovers())
+		fmt.Printf("  mean re-adopt time        %.1f ms over %d re-adoptions\n", metrics.Mean(c.Readopts), len(c.Readopts))
+		fmt.Printf("  max concurrent leaders    %d (must be 1)\n", maxLeaders)
+		fmt.Printf("  syncs/requeues/conflicts  %d / %d / %d (%d fenced stale-leader ops)\n",
+			c.Mgmt.Syncs, c.Mgmt.Requeues, c.Mgmt.Conflicts, c.Mgmt.FencedOps)
+		fmt.Printf("  false suspicions / shed   %d / %d\n", c.Mgmt.FalseSuspicions, c.Mgmt.Shed)
 	}
 	if *cancelAfter > 0 {
 		if err := c.Delete(req.Name); err != nil {

@@ -92,6 +92,9 @@ type TraceRequest struct {
 	Spec TraceRequestSpec
 	// Phase is the observed lifecycle phase.
 	Phase Phase
+	// ResourceVersion increments on every stored mutation; controllers
+	// use it for compare-and-swap updates and watch bookkeeping.
+	ResourceVersion int64
 	// Message carries failure details; it is cleared when a request
 	// recovers from a retried transient failure.
 	Message string
@@ -114,6 +117,11 @@ type TraceRequest struct {
 	scale      float64
 	cancelling bool
 	deadlineEv *simtime.Event
+	// resampleSlots records lost session slots (by re-sampling attempt)
+	// in the replicated control plane. The record lives on the object —
+	// not in controller memory — so a failed-over leader recovers
+	// outstanding slots from a relist.
+	resampleSlots []int
 }
 
 // CoverageFraction reports the fraction of planned sessions that landed.
@@ -125,10 +133,15 @@ func (r *TraceRequest) CoverageFraction() float64 {
 }
 
 // APIServer stores TraceRequests (the Kubernetes API server stand-in).
+// Every stored mutation bumps a global resource version and fans an
+// event out to the open watch streams; legacy phase-transition watchers
+// are kept alongside for tooling.
 type APIServer struct {
 	requests map[string]*TraceRequest
 	order    []string
 	watchers []func(*TraceRequest)
+	rv       int64
+	streams  []*WatchStream
 }
 
 // NewAPIServer returns an empty API server.
@@ -151,6 +164,8 @@ func (a *APIServer) setPhase(r *TraceRequest, phase Phase, msg string) {
 	if msg != "" {
 		r.Message = msg
 	}
+	a.bump(r)
+	a.emit(EventModified, r)
 	for _, fn := range a.watchers {
 		fn(r)
 	}
@@ -164,6 +179,8 @@ func (a *APIServer) Create(name string, spec TraceRequestSpec) (*TraceRequest, e
 	r := &TraceRequest{Name: name, Spec: spec, Phase: PhasePending}
 	a.requests[name] = r
 	a.order = append(a.order, name)
+	a.bump(r)
+	a.emit(EventAdded, r)
 	return r, nil
 }
 
@@ -190,6 +207,7 @@ func (a *APIServer) Delete(name string) error {
 			break
 		}
 	}
+	a.emit(EventDeleted, r)
 	return nil
 }
 
@@ -230,6 +248,7 @@ type Node struct {
 	Down bool
 
 	crashes int
+	hbSeq   int64
 }
 
 // MgmtStats is the orchestration overhead ledger (Figure 17).
@@ -250,6 +269,25 @@ type MgmtStats struct {
 	Resamples int64
 	// LeaseExpiries counts node failures detected through lease lapse.
 	LeaseExpiries int64
+
+	// Syncs counts work-queue items processed by controller replicas.
+	Syncs int64
+	// Requeues counts rate-limited re-adds of failing work items.
+	Requeues int64
+	// Conflicts counts compare-and-swap updates lost to a concurrent
+	// writer.
+	Conflicts int64
+	// FencedOps counts store operations rejected because the acting
+	// replica's fencing token was stale (a deposed leader).
+	FencedOps int64
+	// Elections counts leadership acquisitions (first election,
+	// failovers, and re-acquires after a lapse).
+	Elections int64
+	// Shed counts requests degraded by admission control.
+	Shed int64
+	// FalseSuspicions counts leases that lapsed on a live node because
+	// its heartbeats arrived late (gray failure).
+	FalseSuspicions int64
 }
 
 // Config parameterizes a cluster.
@@ -278,8 +316,11 @@ type Config struct {
 	// Faults is set and the spec gives none (default 10 s).
 	RequestDeadline simtime.Duration
 	// RetryBase is the initial store-retry backoff (default 10 ms),
-	// doubled per attempt with ±50% jitter, capped at 1 s.
+	// doubled per attempt with ±50% jitter, capped at RetryMaxBackoff.
 	RetryBase simtime.Duration
+	// RetryMaxBackoff caps the store-retry backoff after jitter
+	// (default 1 s): no retry ever waits longer than this.
+	RetryMaxBackoff simtime.Duration
 	// RetryMax bounds attempts per store operation (default 5).
 	RetryMax int
 	// ResampleMax bounds replacement attempts per lost session slot
@@ -292,6 +333,46 @@ type Config struct {
 	// unit with the same backoff as single uploads. 0 or 1 keeps the
 	// one-PUT-per-session behavior (and a bit-identical event timeline).
 	UploadBatch int
+
+	// Replicas, when > 0, replaces the single periodic reconcile loop
+	// with that many controller replicas running lease-based leader
+	// election and a watch-driven work queue. Strictly opt-in: zero
+	// keeps the legacy serial control plane and its exact event
+	// timeline.
+	Replicas int
+	// ElectionTTL is how long a leader lease stays valid without
+	// renewal (default 400 ms).
+	ElectionTTL simtime.Duration
+	// ElectionRetry is each replica's election/renewal tick period
+	// (default 100 ms), staggered one millisecond per replica.
+	ElectionRetry simtime.Duration
+	// QueueLatency is the watch-to-pump dispatch latency (default 2 ms).
+	QueueLatency simtime.Duration
+	// QueueTick is the pump's re-arm period while backlog remains
+	// (default 20 ms).
+	QueueTick simtime.Duration
+	// QueueBurst bounds the syncs one pump run performs (default 64).
+	QueueBurst int
+	// QueueBaseDelay and QueueMaxDelay bound the work queue's per-item
+	// exponential-backoff requeue delay (defaults 5 ms and 1 s).
+	QueueBaseDelay simtime.Duration
+	QueueMaxDelay  simtime.Duration
+	// WatchBuf bounds each controller's watch-stream buffer (default
+	// 1024); overflow marks the stream stale and forces a relist.
+	WatchBuf int
+	// AdmitQueueMax, when > 0, sheds Pending requests to PhaseDegraded
+	// while the leader's queue backlog is at or over this depth.
+	AdmitQueueMax int
+	// AdmitCPUBudget, when > 0, sheds Pending requests while average
+	// management CPU (cores) exceeds this budget.
+	AdmitCPUBudget float64
+
+	// Lite, when true, builds bookkeeping-only nodes: no machines are
+	// provisioned and sessions are virtual timers rather than real
+	// traced workloads. The control plane (leases, elections, faults,
+	// uploads, phases) behaves identically, which is what lets chaos
+	// experiments drive 10k+ node fleets.
+	Lite bool
 }
 
 // DefaultConfig returns the paper's ten-node evaluation cluster.
@@ -316,6 +397,15 @@ type resampleItem struct {
 	attempt int
 }
 
+// liteSession is one virtual session in a Lite cluster: bookkeeping and
+// a completion timer, no traced workload.
+type liteSession struct {
+	id     string
+	rec    *sessionRec
+	done   *simtime.Event
+	closed bool
+}
+
 // Cluster is the whole deployment.
 type Cluster struct {
 	// Cfg is the construction configuration.
@@ -336,12 +426,23 @@ type Cluster struct {
 	Uploads UploadStats
 	// Binaries is the binary repository the decoder consults.
 	Binaries map[string]*binary.Program
+	// Controllers are the control-plane replicas (nil in legacy
+	// single-reconciler mode).
+	Controllers []*Controller
+	// Leases is the store-side leader-election record (nil in legacy
+	// mode).
+	Leases *LeaseStore
+	// Readopts samples, in milliseconds, how long each leadership
+	// change took to re-adopt every in-flight request.
+	Readopts []float64
 
 	profiles      map[string]workload.Profile
+	byName        map[string]*Node
 	rng           *xrand.Rand
 	retryRNG      *xrand.Rand
 	resampleRNG   *xrand.Rand
 	inflight      map[*core.Session]*sessionRec
+	liteInflight  map[string]*liteSession
 	needResample  []resampleItem
 	pendingUpload []uploadItem
 	batchSeq      int64
@@ -395,11 +496,35 @@ func New(cfg Config) *Cluster {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = 10 * simtime.Millisecond
 	}
+	if cfg.RetryMaxBackoff <= 0 {
+		cfg.RetryMaxBackoff = simtime.Second
+	}
 	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = 5
 	}
 	if cfg.ResampleMax <= 0 {
 		cfg.ResampleMax = 3
+	}
+	if cfg.ElectionTTL <= 0 {
+		cfg.ElectionTTL = 400 * simtime.Millisecond
+	}
+	if cfg.ElectionRetry <= 0 {
+		cfg.ElectionRetry = 100 * simtime.Millisecond
+	}
+	if cfg.QueueLatency <= 0 {
+		cfg.QueueLatency = 2 * simtime.Millisecond
+	}
+	if cfg.QueueTick <= 0 {
+		cfg.QueueTick = 20 * simtime.Millisecond
+	}
+	if cfg.QueueBurst <= 0 {
+		cfg.QueueBurst = 64
+	}
+	if cfg.QueueBaseDelay <= 0 {
+		cfg.QueueBaseDelay = 5 * simtime.Millisecond
+	}
+	if cfg.QueueMaxDelay <= 0 {
+		cfg.QueueMaxDelay = simtime.Second
 	}
 	c := &Cluster{
 		Cfg:         cfg,
@@ -407,29 +532,35 @@ func New(cfg Config) *Cluster {
 		API:         NewAPIServer(),
 		OSS:         NewObjectStore(),
 		ODPS:        NewDataStore(),
-		Binaries:    make(map[string]*binary.Program),
-		profiles:    make(map[string]workload.Profile),
-		rng:         xrand.Split(cfg.Seed, "cluster"),
-		retryRNG:    xrand.Split(cfg.Seed, "cluster/retry"),
-		resampleRNG: xrand.Split(cfg.Seed, "cluster/resample"),
-		inflight:    make(map[*core.Session]*sessionRec),
-		Mgmt:        MgmtStats{MemMB: 40}, // the RCO management pod's footprint
+		Binaries:     make(map[string]*binary.Program),
+		profiles:     make(map[string]workload.Profile),
+		byName:       make(map[string]*Node),
+		rng:          xrand.Split(cfg.Seed, "cluster"),
+		retryRNG:     xrand.Split(cfg.Seed, "cluster/retry"),
+		resampleRNG:  xrand.Split(cfg.Seed, "cluster/resample"),
+		inflight:     make(map[*core.Session]*sessionRec),
+		liteInflight: make(map[string]*liteSession),
+		Mgmt:         MgmtStats{MemMB: 40}, // the RCO management pod's footprint
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		rt := node.Provision(node.Spec{
-			Cores:  cfg.CoresPerNode,
-			HT:     true, // sched default; nodes keep hyperthreaded topology
-			Seed:   cfg.Seed + uint64(i)*7919,
-			Engine: c.Eng,
-		})
-		c.Nodes = append(c.Nodes, &Node{
+		n := &Node{
 			Name:          fmt.Sprintf("node-%d", i),
-			Runtime:       rt,
-			Machine:       rt.Machine,
-			Ctrl:          rt.Controller(),
 			Apps:          make(map[string]*sched.Process),
 			MemCapacityMB: 384 * 1024 / float64(cfg.Nodes), // 384 GB class nodes scaled per config
-		})
+		}
+		if !cfg.Lite {
+			rt := node.Provision(node.Spec{
+				Cores:  cfg.CoresPerNode,
+				HT:     true, // sched default; nodes keep hyperthreaded topology
+				Seed:   cfg.Seed + uint64(i)*7919,
+				Engine: c.Eng,
+			})
+			n.Runtime = rt
+			n.Machine = rt.Machine
+			n.Ctrl = rt.Controller()
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.byName[n.Name] = n
 	}
 	// The resilience machinery (leases, crash schedules) is armed only
 	// when fault injection is on, so fault-free runs schedule exactly the
@@ -443,18 +574,24 @@ func New(cfg Config) *Cluster {
 			c.scheduleCrash(n)
 		}
 	}
+	if cfg.Replicas > 0 {
+		// Replicated control plane: leader-elected controllers drive the
+		// work; no periodic serial reconcile loop runs.
+		c.Leases = &LeaseStore{}
+		c.startControllers()
+		return c
+	}
 	c.scheduleReconcile()
 	return c
 }
 
+// replicated reports whether the replicated control plane is active.
+func (c *Cluster) replicated() bool { return c.Cfg.Replicas > 0 }
+
 // Node returns a node by name.
 func (c *Cluster) Node(name string) (*Node, bool) {
-	for _, n := range c.Nodes {
-		if n.Name == name {
-			return n, true
-		}
-	}
-	return nil, false
+	n, ok := c.byName[name]
+	return n, ok
 }
 
 // Deploy installs a workload profile on the named nodes (all nodes when
@@ -480,9 +617,15 @@ func (c *Cluster) Deploy(p workload.Profile, names []string, opt workload.Instal
 		if _, dup := n.Apps[p.Name]; dup {
 			return fmt.Errorf("cluster: app %q already on %q", p.Name, name)
 		}
-		nodeOpt := opt
-		nodeOpt.Seed = opt.Seed ^ hashName(name)
-		n.Apps[p.Name] = p.Install(n.Machine, nodeOpt)
+		if c.Cfg.Lite {
+			// Bookkeeping-only deployment: the app is present on the node
+			// (placement, health, sessions all work) but no process runs.
+			n.Apps[p.Name] = nil
+		} else {
+			nodeOpt := opt
+			nodeOpt.Seed = opt.Seed ^ hashName(name)
+			n.Apps[p.Name] = p.Install(n.Machine, nodeOpt)
+		}
 		// Ledger: services reserve memory aggressively (Figure 11).
 		n.MemAllocatedMB += 0.6 * n.MemCapacityMB / float64(len(c.Nodes))
 	}
@@ -515,13 +658,31 @@ func (c *Cluster) scheduleReconcile() {
 	})
 }
 
-// scheduleHeartbeat arms one node's lease renewal loop. A down node skips
-// renewals, so its lease lapses and the controller detects the failure.
+// scheduleHeartbeat arms one node's lease renewal loop. A down node
+// skips renewals, so its lease lapses and the controller detects the
+// failure. A gray node's heartbeats leave on time but arrive late: its
+// lease can lapse while the node is alive and working — a false
+// suspicion, the signature of gray failure.
 func (c *Cluster) scheduleHeartbeat(n *Node) {
 	c.Eng.AfterDetached(c.Cfg.HeartbeatEvery, func(now simtime.Time) {
 		if !n.Down {
-			n.LeaseUntil = now + c.Cfg.LeaseTTL
+			if d := c.Cfg.Faults.HeartbeatDelay(n.Name, n.hbSeq); d > 0 {
+				c.Eng.AfterDetached(d, func(arrived simtime.Time) {
+					if n.Down {
+						return
+					}
+					if n.LeaseUntil <= arrived {
+						c.Mgmt.FalseSuspicions++
+					}
+					if until := now + c.Cfg.LeaseTTL; until > n.LeaseUntil {
+						n.LeaseUntil = until
+					}
+				})
+			} else {
+				n.LeaseUntil = now + c.Cfg.LeaseTTL
+			}
 		}
+		n.hbSeq++
 		c.scheduleHeartbeat(n)
 	})
 }
@@ -562,6 +723,19 @@ func (c *Cluster) crashNode(n *Node, now simtime.Time) {
 	for _, s := range doomed {
 		c.inflight[s].lost = true
 		s.Cancel() // fires OnDone; finishSession sees lost and re-samples
+	}
+	// Lite sessions on the node die the same way, in session-ID order.
+	var doomedLite []*liteSession
+	for _, ls := range c.liteInflight {
+		if ls.rec.node == n {
+			doomedLite = append(doomedLite, ls)
+		}
+	}
+	sort.Slice(doomedLite, func(i, j int) bool { return doomedLite[i].id < doomedLite[j].id })
+	for _, ls := range doomedLite {
+		ls.rec.lost = true
+		ls.done.Cancel()
+		c.finishLite(ls, now)
 	}
 }
 
@@ -673,13 +847,31 @@ func (c *Cluster) terminate(r *TraceRequest, phase Phase, msg string) {
 	c.API.setPhase(r, phase, msg)
 }
 
-// start opens the node sessions for one request.
+// start opens the node sessions for one request (legacy serial path).
 func (c *Cluster) start(r *TraceRequest, now simtime.Time) error {
+	period, scale, selected, retry, err := c.plan(r, now)
+	if err != nil {
+		return err
+	}
+	if retry {
+		// Every host's lease has lapsed; stay Pending and let a later
+		// reconcile (or the deadline) resolve the request.
+		return nil
+	}
+	c.record(r, period, scale, selected)
+	c.API.setPhase(r, PhaseRunning, "")
+	return c.openPlanned(r, selected)
+}
+
+// plan computes one request's temporal decision (period), space scale,
+// and spatial sampling (selected nodes). retry is set when no healthy
+// host exists right now but fault injection means one may recover.
+func (c *Cluster) plan(r *TraceRequest, now simtime.Time) (period simtime.Duration, scale float64, selected []*Node, retry bool, err error) {
 	profile := c.profiles[r.Spec.App]
 	prog := c.Binaries[r.Spec.App]
 
 	// Temporal decider: period from app complexity unless overridden.
-	period := r.Spec.Period
+	period = r.Spec.Period
 	if period <= 0 {
 		var binBytes uint64
 		if prog != nil {
@@ -702,13 +894,10 @@ func (c *Cluster) start(r *TraceRequest, now simtime.Time) error {
 	}
 	if len(hosts) == 0 {
 		if c.Cfg.Faults != nil {
-			// Every host's lease has lapsed; stay Pending and let a later
-			// reconcile (or the deadline) resolve the request.
-			return nil
+			return 0, 0, nil, true, nil
 		}
-		return fmt.Errorf("app %q deployed nowhere", r.Spec.App)
+		return 0, 0, nil, false, fmt.Errorf("app %q deployed nowhere", r.Spec.App)
 	}
-	var selected []*Node
 	if r.Spec.Nodes != nil {
 		for _, want := range r.Spec.Nodes {
 			for _, n := range hosts {
@@ -731,32 +920,61 @@ func (c *Cluster) start(r *TraceRequest, now simtime.Time) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("no nodes selected for %q", r.Spec.App)
+		return 0, 0, nil, false, fmt.Errorf("no nodes selected for %q", r.Spec.App)
 	}
 
-	scale := r.Spec.Scale
+	scale = r.Spec.Scale
 	if scale <= 0 {
 		scale = trace.SpaceScale
 	}
+	return period, scale, selected, false, nil
+}
+
+// record stores the plan on the request object.
+func (c *Cluster) record(r *TraceRequest, period simtime.Duration, scale float64, selected []*Node) {
 	r.period = period
 	r.scale = scale
 	r.Planned = len(selected)
 	r.usedNodes = make(map[string]bool)
-	c.API.setPhase(r, PhaseRunning, "")
+}
+
+// openPlanned opens the request's planned sessions. Under fault
+// injection an unreachable node is a survivable event: the slot stays
+// pending and is routed to re-sampling.
+func (c *Cluster) openPlanned(r *TraceRequest, selected []*Node) error {
 	for _, n := range selected {
 		if err := c.openSession(r, n, 0); err != nil {
 			if c.Cfg.Faults == nil {
 				return err
 			}
-			// Under faults an unreachable node is a survivable event: the
-			// slot stays pending and is re-sampled next reconcile.
 			r.pending++
-			c.needResample = append(c.needResample, resampleItem{req: r, attempt: 0})
+			c.loseSlot(r, 0)
 			continue
 		}
 		r.pending++
 	}
 	return nil
+}
+
+// launch is the replicated-plane start commit: the caller already won
+// the Pending → Running CAS, so recording the plan and opening the
+// sessions here can never race another replica.
+func (c *Cluster) launch(r *TraceRequest, period simtime.Duration, scale float64, selected []*Node) error {
+	c.record(r, period, scale, selected)
+	return c.openPlanned(r, selected)
+}
+
+// loseSlot routes one lost session slot to re-sampling. The legacy
+// plane queues it in controller memory for the next reconcile; the
+// replicated plane records it on the request object (so it survives
+// failover) and lets the watch event wake the leader.
+func (c *Cluster) loseSlot(r *TraceRequest, attempt int) {
+	if c.replicated() {
+		r.resampleSlots = append(r.resampleSlots, attempt)
+		c.API.Touch(r)
+		return
+	}
+	c.needResample = append(c.needResample, resampleItem{req: r, attempt: attempt})
 }
 
 // openSession opens one tracing session on a node for a request. attempt
@@ -766,6 +984,9 @@ func (c *Cluster) openSession(r *TraceRequest, n *Node, attempt int) error {
 	if n.Down {
 		// The lease may still look valid, but contacting the node fails.
 		return fmt.Errorf("cluster: node %s unreachable", n.Name)
+	}
+	if c.Cfg.Lite {
+		return c.openLiteSession(r, n, attempt)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Period = r.period
@@ -795,6 +1016,65 @@ func (c *Cluster) openSession(r *TraceRequest, n *Node, attempt int) error {
 		c.finishSession(rec, s)
 	})
 	return nil
+}
+
+// openLiteSession opens a virtual session on a Lite node: the same
+// bookkeeping as a real session, with a completion timer in place of a
+// traced workload.
+func (c *Cluster) openLiteSession(r *TraceRequest, n *Node, attempt int) error {
+	id := fmt.Sprintf("%s/%s", r.Name, n.Name)
+	if attempt > 0 {
+		id = fmt.Sprintf("%s/%s/r%d", r.Name, n.Name, attempt)
+	}
+	r.usedNodes[n.Name] = true
+	ls := &liteSession{id: id, rec: &sessionRec{req: r, node: n, attempt: attempt}}
+	c.liteInflight[id] = ls
+	// Virtual session length: roughly the request's sampling period,
+	// plus a per-session spread keyed by the session ID so fleet
+	// completions don't all land on one tick and runs stay
+	// deterministic.
+	base := r.period
+	if base <= 0 {
+		base = 20 * simtime.Millisecond
+	}
+	dur := base + simtime.Duration(hashName(id)%uint64(base))
+	ls.done = c.Eng.After(dur, func(now simtime.Time) { c.finishLite(ls, now) })
+	return nil
+}
+
+// finishLite resolves one virtual session: fate from the injector,
+// a synthetic upload through the same retrying data path, and slot
+// completion.
+func (c *Cluster) finishLite(ls *liteSession, now simtime.Time) {
+	if ls.closed {
+		return
+	}
+	ls.closed = true
+	delete(c.liteInflight, ls.id)
+	r := ls.rec.req
+	if r.Phase.Terminal() {
+		return
+	}
+	if ls.rec.lost || c.Cfg.Faults.SessionFate(ls.id) == faults.FateLost {
+		c.loseSlot(r, ls.rec.attempt)
+		return
+	}
+	// Corruption and truncation don't destroy a lite capture — the blob
+	// is synthetic either way.
+	key := "sessions/" + ls.id
+	blob := []byte(ls.id)
+	c.putWithRetry(r, key, blob, 0, func(ok bool) {
+		if !ok {
+			c.loseSlot(r, ls.rec.attempt)
+			return
+		}
+		c.Uploads.Batches++
+		r.SessionKeys = append(r.SessionKeys, key)
+		c.Mgmt.CPUSeconds += 100e-6
+		c.Uploads.Sessions++
+		c.Uploads.WireBytes += int64(len(blob))
+		c.sessionDone(r)
+	})
 }
 
 // processResamples reschedules lost session slots onto healthy nodes —
@@ -900,7 +1180,7 @@ func (c *Cluster) finishSession(rec *sessionRec, s *core.Session) {
 	}
 	if rec.lost {
 		// Node crash destroyed the data before upload.
-		c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
+		c.loseSlot(r, rec.attempt)
 		return
 	}
 	res, err := s.Result()
@@ -912,7 +1192,7 @@ func (c *Cluster) finishSession(rec *sessionRec, s *core.Session) {
 	switch c.Cfg.Faults.SessionFate(s.Cfg.SessionID) {
 	case faults.FateLost:
 		// The capture vanished between window close and upload.
-		c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
+		c.loseSlot(r, rec.attempt)
 		return
 	case faults.FateCorrupted:
 		for i := range res.Cores {
@@ -944,7 +1224,7 @@ func (c *Cluster) finishSession(rec *sessionRec, s *core.Session) {
 	c.putWithRetry(r, it.key, it.blob, 0, func(ok bool) {
 		if !ok {
 			// Upload exhausted its retries: the data is gone; re-sample.
-			c.needResample = append(c.needResample, resampleItem{req: r, attempt: rec.attempt})
+			c.loseSlot(r, rec.attempt)
 			return
 		}
 		c.Uploads.Batches++
@@ -1026,7 +1306,7 @@ func (c *Cluster) putBatchWithRetry(batchKey string, items []uploadItem, attempt
 	if attempt+1 >= c.Cfg.RetryMax {
 		for _, it := range live {
 			it.req.Message = fmt.Sprintf("upload %s failed after %d attempts: %v", it.key, attempt+1, err)
-			c.needResample = append(c.needResample, resampleItem{req: it.req, attempt: it.rec.attempt})
+			c.loseSlot(it.req, it.rec.attempt)
 		}
 		return
 	}
@@ -1098,16 +1378,24 @@ func (c *Cluster) insertWithRetry(r *TraceRequest, batch string, rows []Row, att
 	})
 }
 
-// backoff returns the jittered exponential delay for a retry attempt.
+// backoff returns the jittered exponential delay for a retry attempt,
+// clamped to RetryMaxBackoff after jittering — the cap is a hard bound
+// on the wait, not on the pre-jitter base (which +50% jitter could
+// otherwise exceed by half).
 func (c *Cluster) backoff(attempt int) simtime.Duration {
+	max := c.Cfg.RetryMaxBackoff
 	d := c.Cfg.RetryBase
-	for i := 0; i < attempt && d < simtime.Second; i++ {
+	for i := 0; i < attempt && d < max; i++ {
 		d *= 2
 	}
-	if d > simtime.Second {
-		d = simtime.Second
+	if d > max {
+		d = max
 	}
-	return simtime.Duration(c.retryRNG.Jitter(float64(d), 0.5))
+	j := simtime.Duration(c.retryRNG.Jitter(float64(d), 0.5))
+	if j > max {
+		j = max
+	}
+	return j
 }
 
 // sessionDone resolves one session slot and completes the request when

@@ -1,0 +1,437 @@
+package cluster
+
+import (
+	"fmt"
+
+	"exist/internal/coverage"
+	"exist/internal/simtime"
+)
+
+// Controller is one replica of the replicated control plane. At most
+// one replica — the one holding the store lease — acts at a time. Each
+// replica runs a staggered election tick; the winner relists the API
+// server, re-adopts in-flight requests, and drives a watch-fed work
+// queue. Everything a replica must remember across a failover lives on
+// the TraceRequest objects themselves (phase, pending slots, recorded
+// resample slots), so a fresh leader recovers the full work set from a
+// relist and no session is lost or duplicated.
+type Controller struct {
+	// Name is the replica name (ctrl-<i>).
+	Name string
+
+	c    *Cluster
+	idx  int
+	skew simtime.Duration // injected clock skew, fixed per replica
+
+	leader bool
+	token  int64 // fencing token of the current leadership incarnation
+
+	watch *WatchStream
+	queue *workQueue
+
+	// down marks an injected controller crash; partitionedUntil marks
+	// the end of an injected controller-store partition.
+	down             bool
+	partitionedUntil simtime.Time
+	crashes          int
+	partitions       int
+
+	// epoch invalidates callbacks queued before a crash: a restarted
+	// replica must not execute work scheduled by its dead incarnation.
+	epoch int
+
+	pumpArmed bool
+
+	// adopting tracks the Running requests inherited at election; when
+	// the set drains the re-adoption time is recorded.
+	adopting    map[string]bool
+	electedAt   simtime.Time
+	readoptOpen bool
+}
+
+// Leader reports whether this replica currently believes it leads. The
+// store's lease record is the authority; a deposed replica may briefly
+// believe until its next store contact fences it.
+func (ct *Controller) Leader() bool { return ct.leader }
+
+// ActiveLeaders counts replicas that both believe they lead and would
+// pass the store's fencing check at now. Election safety demands this
+// never exceeds one; chaos experiments sample it continuously.
+func (c *Cluster) ActiveLeaders(now simtime.Time) int {
+	if c.Leases == nil {
+		return 0
+	}
+	n := 0
+	for _, ct := range c.Controllers {
+		if ct.leader && c.Leases.ValidFor(ct.Name, ct.token, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Crashes returns how many injected crashes this replica has absorbed.
+func (ct *Controller) Crashes() int { return ct.crashes }
+
+// startControllers builds the replica set and arms their election
+// ticks, staggered by a millisecond per replica so elections are
+// deterministic and contested in a fixed order.
+func (c *Cluster) startControllers() {
+	for i := 0; i < c.Cfg.Replicas; i++ {
+		ct := &Controller{
+			Name: fmt.Sprintf("ctrl-%d", i),
+			c:    c,
+			idx:  i,
+		}
+		ct.skew = c.Cfg.Faults.ClockSkew(ct.Name)
+		ct.watch = c.API.WatchStream(c.Cfg.WatchBuf, ct.kick)
+		ct.queue = newWorkQueue(c, c.Cfg.QueueBaseDelay, c.Cfg.QueueMaxDelay, ct.kick)
+		c.Controllers = append(c.Controllers, ct)
+		c.scheduleElect(ct, simtime.Duration(i+1)*simtime.Millisecond)
+		if c.Cfg.Faults != nil {
+			c.scheduleCtrlCrash(ct)
+			c.scheduleCtrlPartition(ct)
+		}
+	}
+}
+
+// scheduleElect arms a replica's next election tick.
+func (c *Cluster) scheduleElect(ct *Controller, d simtime.Duration) {
+	c.Eng.AfterDetached(d, func(now simtime.Time) {
+		ct.electTick(now)
+		c.scheduleElect(ct, c.Cfg.ElectionRetry)
+	})
+}
+
+// scheduleCtrlCrash arms the replica's next injected crash. A crash
+// wipes the replica's in-memory state (queue, watch position, adoption
+// set) — recovery is a fresh relist, never a replay.
+func (c *Cluster) scheduleCtrlCrash(ct *Controller) {
+	d, ok := c.Cfg.Faults.NextCtrlCrash(ct.Name, ct.crashes)
+	if !ok {
+		return
+	}
+	c.Eng.AfterDetached(d, func(now simtime.Time) {
+		ct.crashes++
+		c.Cfg.Faults.CountCtrlCrash()
+		ct.crash(c.Cfg.Faults.Config().CtrlCrashDowntime, func() {
+			c.scheduleCtrlCrash(ct)
+		})
+	})
+}
+
+// crash takes the replica down for downFor, wiping its in-memory state,
+// then restarts it and runs onUp (which may arm the next injected
+// crash).
+func (ct *Controller) crash(downFor simtime.Duration, onUp func()) {
+	ct.down = true
+	ct.leader = false
+	ct.epoch++
+	ct.pumpArmed = false
+	ct.queue.Reset()
+	ct.watch.Reset()
+	ct.adopting = nil
+	ct.readoptOpen = false
+	ct.c.Eng.AfterDetached(downFor, func(simtime.Time) {
+		ct.down = false
+		if onUp != nil {
+			onUp()
+		}
+	})
+}
+
+// scheduleCtrlPartition arms the replica's next injected controller-
+// store partition. While partitioned the replica cannot reach the
+// store: it can neither renew its lease (so leadership decays) nor
+// sync, but it stays alive and keeps its memory.
+func (c *Cluster) scheduleCtrlPartition(ct *Controller) {
+	delay, dur, ok := c.Cfg.Faults.NextPartition(ct.Name, ct.partitions)
+	if !ok {
+		return
+	}
+	c.Eng.AfterDetached(delay, func(now simtime.Time) {
+		ct.partitions++
+		c.Cfg.Faults.CountPartition()
+		ct.partitionedUntil = now + dur
+		c.Eng.AfterDetached(dur, func(simtime.Time) {
+			c.scheduleCtrlPartition(ct)
+		})
+	})
+}
+
+// storeReachable reports whether the replica can currently contact the
+// API server and stores.
+func (ct *Controller) storeReachable(now simtime.Time) bool {
+	return ct.partitionedUntil <= now
+}
+
+// electTick is one round of lease-based leader election. The replica
+// judges the incumbent's lease and stamps its own with its (possibly
+// skewed) local clock; fencing at the store uses true time, so a skewed
+// replica can win an election early but cannot mutate state the real
+// leader still owns.
+func (ct *Controller) electTick(now simtime.Time) {
+	if ct.down || !ct.storeReachable(now) {
+		// Crashed or partitioned: no store contact, leadership decays on
+		// its own at the store.
+		return
+	}
+	obs := now + ct.skew
+	if obs < 0 {
+		obs = 0
+	}
+	token, ok := ct.c.Leases.TryAcquire(ct.Name, obs, ct.c.Cfg.ElectionTTL)
+	if !ok {
+		// Another replica's lease is valid from where this one stands.
+		ct.leader = false
+		return
+	}
+	if ct.leader && token == ct.token {
+		return // plain renewal
+	}
+	ct.token = token
+	ct.becomeLeader(now)
+}
+
+// becomeLeader starts a leadership incarnation: drop any stale watch
+// backlog, relist the API server to rebuild the work set, and mark the
+// Running requests as adopted so the failover's re-adoption time can be
+// measured when the set drains.
+func (ct *Controller) becomeLeader(now simtime.Time) {
+	c := ct.c
+	ct.leader = true
+	c.Mgmt.Elections++
+	c.Mgmt.CPUSeconds += 200e-6 // relist cost
+	ct.watch.Reset()
+	ct.queue.Reset()
+	ct.adopting = make(map[string]bool)
+	for _, r := range c.API.List() {
+		if r.Phase.Terminal() {
+			continue
+		}
+		ct.queue.Add(r.Name)
+		if r.Phase == PhaseRunning {
+			ct.adopting[r.Name] = true
+		}
+	}
+	ct.electedAt = now
+	ct.readoptOpen = len(ct.adopting) > 0
+	ct.kick()
+}
+
+// kick schedules a pump after the queue latency, if one is not already
+// armed. It is the notify hook for both the watch stream and the work
+// queue.
+func (ct *Controller) kick() {
+	if ct.pumpArmed || ct.down {
+		return
+	}
+	ct.pumpArmed = true
+	ct.rearmPump(ct.c.Cfg.QueueLatency)
+}
+
+// rearmPump schedules a pump run after d, bound to the current epoch so
+// a crash invalidates it.
+func (ct *Controller) rearmPump(d simtime.Duration) {
+	epoch := ct.epoch
+	ct.c.Eng.AfterDetached(d, func(now simtime.Time) {
+		if ct.epoch != epoch {
+			return
+		}
+		ct.pumpArmed = false
+		ct.pump(now)
+	})
+}
+
+// pump is the leader's work loop: drain the watch stream into the
+// queue (relisting if the stream went stale), sync up to QueueBurst
+// items, flush any batched uploads, and re-arm while backlog remains.
+// A non-leader pump is a no-op; a deposed leader is fenced by the
+// store before it can act.
+func (ct *Controller) pump(now simtime.Time) {
+	c := ct.c
+	if ct.down || !ct.leader {
+		return
+	}
+	if !ct.storeReachable(now) {
+		// Partitioned mid-leadership: keep the backlog and retry after a
+		// tick; if the partition outlives the lease another replica takes
+		// over and this backlog is superseded by its relist.
+		ct.pumpArmed = true
+		ct.rearmPump(c.Cfg.QueueTick)
+		return
+	}
+	if !c.Leases.ValidFor(ct.Name, ct.token, now) {
+		// The store fences the stale token: this incarnation was deposed
+		// while it still believed it led (partition, skew, late renewal).
+		c.Mgmt.FencedOps++
+		ct.leader = false
+		return
+	}
+	if ct.watch.Stale() {
+		// The stream dropped events; resynchronize with a full relist.
+		ct.watch.Reset()
+		c.Mgmt.CPUSeconds += 200e-6
+		for _, r := range c.API.List() {
+			if !r.Phase.Terminal() {
+				ct.queue.Add(r.Name)
+			}
+		}
+	}
+	for {
+		ev, ok := ct.watch.Next()
+		if !ok {
+			break
+		}
+		if ev.Type != EventDeleted {
+			ct.queue.Add(ev.Name)
+		}
+	}
+	for i := 0; i < c.Cfg.QueueBurst; i++ {
+		name, ok := ct.queue.Pop()
+		if !ok {
+			break
+		}
+		ct.sync(name, now)
+	}
+	c.flushUploads()
+	if ct.queue.Len() > 0 || ct.watch.Len() > 0 {
+		ct.pumpArmed = true
+		ct.rearmPump(c.Cfg.QueueTick)
+	}
+}
+
+// sync reconciles one request by name: admission-check and start
+// Pending requests (idempotently, via CAS on the resource version),
+// re-sample recorded lost slots of Running ones, and retire terminal
+// ones from the rate limiter and the adoption set.
+func (ct *Controller) sync(name string, now simtime.Time) {
+	c := ct.c
+	c.Mgmt.Syncs++
+	c.Mgmt.CPUSeconds += 20e-6
+	r, ok := c.API.Get(name)
+	if !ok {
+		ct.queue.Forget(name)
+		ct.adopted(name, now)
+		return
+	}
+	if r.Phase.Terminal() {
+		ct.queue.Forget(name)
+		ct.adopted(name, now)
+		return
+	}
+	c.armDeadline(r, now)
+	switch r.Phase {
+	case PhasePending:
+		ct.syncPending(r, now)
+	case PhaseRunning:
+		ct.syncRunning(r, now)
+		ct.adopted(name, now)
+	}
+}
+
+// adopted retires one name from the adoption set; when the set drains
+// the leadership change's re-adoption time is recorded.
+func (ct *Controller) adopted(name string, now simtime.Time) {
+	if ct.adopting == nil || !ct.adopting[name] {
+		return
+	}
+	delete(ct.adopting, name)
+	if len(ct.adopting) == 0 && ct.readoptOpen {
+		ct.readoptOpen = false
+		ct.c.Readopts = append(ct.c.Readopts, (now - ct.electedAt).Millis())
+	}
+}
+
+// syncPending admits and starts one Pending request. The Pending →
+// Running transition is a compare-and-swap on the resource version the
+// sync read, so two replicas that both believe they lead can never both
+// open sessions for the same request — the loser's CAS conflicts and it
+// requeues to observe the winner's work.
+func (ct *Controller) syncPending(r *TraceRequest, now simtime.Time) {
+	c := ct.c
+	// Admission control: shed when the control plane is saturated, so a
+	// storm degrades requests crisply instead of timing all of them out.
+	if over, why := c.overloaded(ct.queue.Len()); over {
+		c.Mgmt.Shed++
+		c.terminate(r, PhaseDegraded, "shed by admission control: "+why)
+		return
+	}
+	rv := r.ResourceVersion
+	period, scale, selected, retry, err := c.plan(r, now)
+	if err != nil {
+		c.terminate(r, PhaseFailed, err.Error())
+		return
+	}
+	if retry {
+		// No healthy repetition right now; back off and retry.
+		ct.queue.AddRateLimited(r.Name)
+		return
+	}
+	if err := c.API.CASPhase(r, rv, PhaseRunning, ""); err != nil {
+		c.Mgmt.Conflicts++
+		ct.queue.AddRateLimited(r.Name)
+		return
+	}
+	if err := c.launch(r, period, scale, selected); err != nil {
+		c.terminate(r, PhaseFailed, err.Error())
+		return
+	}
+	ct.queue.Forget(r.Name)
+}
+
+// syncRunning re-samples the request's recorded lost slots. Slots are
+// persisted on the object (not in controller memory), so a failover's
+// relist recovers them; a slot with no healthy candidate stays recorded
+// and the item requeues with backoff.
+func (ct *Controller) syncRunning(r *TraceRequest, now simtime.Time) {
+	c := ct.c
+	if len(r.resampleSlots) == 0 || r.cancelling {
+		ct.queue.Forget(r.Name)
+		return
+	}
+	slots := r.resampleSlots
+	r.resampleSlots = nil
+	for _, attempt := range slots {
+		if r.Phase.Terminal() {
+			break
+		}
+		if attempt >= c.Cfg.ResampleMax {
+			c.giveUpSlot(r)
+			continue
+		}
+		reps := c.replacementCandidates(r, now)
+		idx := coverage.SelectReplacements(reps, r.usedNodes, 1, c.resampleRNG)
+		if len(idx) == 0 {
+			r.resampleSlots = append(r.resampleSlots, attempt+1)
+			continue
+		}
+		n, _ := c.Node(reps[idx[0]].Node)
+		if err := c.openSession(r, n, attempt+1); err != nil {
+			r.resampleSlots = append(r.resampleSlots, attempt+1)
+			continue
+		}
+		r.Resampled++
+		c.Mgmt.Resamples++
+		c.Mgmt.CPUSeconds += 50e-6
+	}
+	if len(r.resampleSlots) > 0 {
+		ct.queue.AddRateLimited(r.Name)
+	} else {
+		ct.queue.Forget(r.Name)
+	}
+}
+
+// overloaded applies the admission budgets: queue depth and management
+// CPU. Zero budgets disable a check.
+func (c *Cluster) overloaded(depth int) (bool, string) {
+	if c.Cfg.AdmitQueueMax > 0 && depth >= c.Cfg.AdmitQueueMax {
+		return true, fmt.Sprintf("queue depth %d over budget %d", depth, c.Cfg.AdmitQueueMax)
+	}
+	if c.Cfg.AdmitCPUBudget > 0 {
+		if cores := c.ManagementCores(); cores > c.Cfg.AdmitCPUBudget {
+			return true, fmt.Sprintf("management CPU %.3f cores over budget %.3f", cores, c.Cfg.AdmitCPUBudget)
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConflict is returned by compare-and-swap updates when the object's
+// resource version moved under the caller. Controllers retry by
+// re-reading the object and requeueing the item (conflict-retry).
+var ErrConflict = errors.New("cluster: resource version conflict")
+
+// EventType classifies a watch event.
+type EventType uint8
+
+// Watch event types.
+const (
+	EventAdded EventType = iota
+	EventModified
+	EventDeleted
+)
+
+// String names an event type.
+func (t EventType) String() string {
+	switch t {
+	case EventAdded:
+		return "ADDED"
+	case EventModified:
+		return "MODIFIED"
+	case EventDeleted:
+		return "DELETED"
+	default:
+		return "?"
+	}
+}
+
+// WatchEvent is one change notification on a TraceRequest. Events carry
+// only the object's coordinates — consumers re-read the live object, so
+// a stale event can never act on stale state.
+type WatchEvent struct {
+	// Type is the change kind.
+	Type EventType
+	// Name and ResourceVersion identify the object state that produced
+	// the event.
+	Name            string
+	ResourceVersion int64
+	// Phase is the object's phase at emission time.
+	Phase Phase
+}
+
+// WatchStream is one consumer's buffered view of the API server's change
+// feed. The buffer is bounded: when a slow consumer overflows it, the
+// oldest events are dropped and the stream is marked stale — the
+// consumer must relist to resynchronize, exactly the "resource version
+// too old" contract of a real watch.
+type WatchStream struct {
+	buf   []WatchEvent
+	max   int
+	stale bool
+	// notify, when set, fires each time the buffer goes from empty to
+	// non-empty (edge-triggered), letting consumers schedule a drain.
+	notify func()
+}
+
+// Next pops the oldest buffered event.
+func (w *WatchStream) Next() (WatchEvent, bool) {
+	if len(w.buf) == 0 {
+		return WatchEvent{}, false
+	}
+	ev := w.buf[0]
+	w.buf = w.buf[1:]
+	return ev, true
+}
+
+// Len returns the number of buffered events.
+func (w *WatchStream) Len() int { return len(w.buf) }
+
+// Stale reports whether events were dropped since the last Reset; the
+// consumer's cached view may be incomplete and it must relist.
+func (w *WatchStream) Stale() bool { return w.stale }
+
+// Reset empties the stream and clears the stale flag (called after a
+// relist resynchronizes the consumer).
+func (w *WatchStream) Reset() {
+	w.buf = w.buf[:0]
+	w.stale = false
+}
+
+// push appends an event, dropping the oldest on overflow.
+func (w *WatchStream) push(ev WatchEvent) {
+	wasEmpty := len(w.buf) == 0
+	if w.max > 0 && len(w.buf) >= w.max {
+		w.buf = w.buf[1:]
+		w.stale = true
+	}
+	w.buf = append(w.buf, ev)
+	if wasEmpty && w.notify != nil {
+		w.notify()
+	}
+}
+
+// WatchStream opens a new buffered change stream. bufMax bounds the
+// buffer (<= 0 uses 1024); notify, when non-nil, fires on the
+// empty-to-non-empty edge.
+func (a *APIServer) WatchStream(bufMax int, notify func()) *WatchStream {
+	if bufMax <= 0 {
+		bufMax = 1024
+	}
+	w := &WatchStream{max: bufMax, notify: notify}
+	a.streams = append(a.streams, w)
+	return w
+}
+
+// emit fans one event out to every open stream.
+func (a *APIServer) emit(typ EventType, r *TraceRequest) {
+	if len(a.streams) == 0 {
+		return
+	}
+	ev := WatchEvent{Type: typ, Name: r.Name, ResourceVersion: r.ResourceVersion, Phase: r.Phase}
+	for _, w := range a.streams {
+		w.push(ev)
+	}
+}
+
+// bump assigns the object the next resource version.
+func (a *APIServer) bump(r *TraceRequest) {
+	a.rv++
+	r.ResourceVersion = a.rv
+}
+
+// Touch bumps the object's resource version and notifies watchers of a
+// modification that is not a phase transition (e.g. a lost session slot
+// recorded on the object for failover recovery).
+func (a *APIServer) Touch(r *TraceRequest) {
+	a.bump(r)
+	a.emit(EventModified, r)
+}
+
+// CASPhase transitions a request's phase if and only if its resource
+// version still equals expectRV, returning ErrConflict otherwise. This
+// is the idempotency lock replicated controllers take before opening
+// sessions: whichever replica wins the CAS owns the transition, and the
+// loser re-reads and observes the work already done.
+func (a *APIServer) CASPhase(r *TraceRequest, expectRV int64, phase Phase, msg string) error {
+	if r.ResourceVersion != expectRV {
+		return fmt.Errorf("%w: %s is at %d, caller expected %d",
+			ErrConflict, r.Name, r.ResourceVersion, expectRV)
+	}
+	a.setPhase(r, phase, msg)
+	return nil
+}

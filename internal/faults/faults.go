@@ -63,6 +63,45 @@ type Config struct {
 	CrashMTBF simtime.Duration
 	// CrashDowntime is how long a crashed node stays down (default 1 s).
 	CrashDowntime simtime.Duration
+
+	// CtrlCrashMTBF, when nonzero, gives each controller replica an
+	// exponentially distributed mean time between crashes. A crashed
+	// controller stops renewing its election lease and processing its
+	// work queue until CtrlCrashDowntime passes; on restart it relists
+	// from the store (its watch stream is stale).
+	CtrlCrashMTBF simtime.Duration
+	// CtrlCrashDowntime is how long a crashed controller stays down
+	// (default 500 ms).
+	CtrlCrashDowntime simtime.Duration
+
+	// PartitionMTBF, when nonzero, gives each controller replica an
+	// exponentially distributed mean time between network partitions
+	// from the API/object stores. A partitioned controller is alive but
+	// every store operation (list, CAS, lease renewal) fails until the
+	// partition heals — the classic half-failure a replicated control
+	// plane must survive.
+	PartitionMTBF simtime.Duration
+	// PartitionMeanDur is the mean (exponential) partition duration
+	// (default 500 ms).
+	PartitionMeanDur simtime.Duration
+
+	// GrayNodeProb is the probability that a given node is a gray
+	// failure: alive and doing work, but with heartbeats that arrive
+	// late. The decision is keyed by node name, so the same nodes are
+	// gray in every run with the same seed.
+	GrayNodeProb float64
+	// GrayDelayMean is the mean (exponential) extra delay a gray node's
+	// heartbeat suffers (default 300 ms). Delays beyond the lease TTL
+	// make a healthy node look dead — the control plane re-samples its
+	// sessions even though the node never crashed.
+	GrayDelayMean simtime.Duration
+
+	// ClockSkewMax, when nonzero, gives each controller replica a fixed
+	// clock skew drawn uniformly from [-ClockSkewMax, +ClockSkewMax],
+	// keyed by controller name. Skewed clocks distort the lease expiries
+	// a controller writes and reads, stressing the election protocol's
+	// fencing (the store remains the single authority).
+	ClockSkewMax simtime.Duration
 }
 
 // Stats counts injected faults, for experiment reporting.
@@ -77,6 +116,12 @@ type Stats struct {
 	Stalls int64
 	// Crashes counts node crash events.
 	Crashes int64
+	// CtrlCrashes counts controller-replica crash events.
+	CtrlCrashes int64
+	// Partitions counts controller-store partition events.
+	Partitions int64
+	// GrayDelays counts heartbeats that were delayed by gray failure.
+	GrayDelays int64
 }
 
 // Fate is the injector's verdict on one completed session's data.
@@ -127,6 +172,15 @@ func New(cfg Config) *Injector {
 	}
 	if cfg.CrashDowntime <= 0 {
 		cfg.CrashDowntime = 1 * simtime.Second
+	}
+	if cfg.CtrlCrashDowntime <= 0 {
+		cfg.CtrlCrashDowntime = 500 * simtime.Millisecond
+	}
+	if cfg.PartitionMeanDur <= 0 {
+		cfg.PartitionMeanDur = 500 * simtime.Millisecond
+	}
+	if cfg.GrayDelayMean <= 0 {
+		cfg.GrayDelayMean = 300 * simtime.Millisecond
 	}
 	return &Injector{cfg: cfg}
 }
@@ -235,6 +289,88 @@ func (in *Injector) CountCrash() {
 	if in != nil {
 		in.stats.Crashes++
 	}
+}
+
+// NextCtrlCrash returns the delay until a controller replica's k-th
+// crash, drawn from the configured MTBF, and ok=false when controller
+// crash injection is disabled.
+func (in *Injector) NextCtrlCrash(ctrl string, k int) (simtime.Duration, bool) {
+	if in == nil || in.cfg.CtrlCrashMTBF <= 0 {
+		return 0, false
+	}
+	d := in.draw("ctrlcrash", fmt.Sprintf("%s#%d", ctrl, k)).Exp(float64(in.cfg.CtrlCrashMTBF))
+	if d < float64(simtime.Millisecond) {
+		d = float64(simtime.Millisecond)
+	}
+	return simtime.Duration(d), true
+}
+
+// CountCtrlCrash records one controller-replica crash event.
+func (in *Injector) CountCtrlCrash() {
+	if in != nil {
+		in.stats.CtrlCrashes++
+	}
+}
+
+// NextPartition returns the delay until a controller replica's k-th
+// store partition and how long it lasts, and ok=false when partition
+// injection is disabled. Both draws are keyed by (ctrl, k).
+func (in *Injector) NextPartition(ctrl string, k int) (delay, dur simtime.Duration, ok bool) {
+	if in == nil || in.cfg.PartitionMTBF <= 0 {
+		return 0, 0, false
+	}
+	rng := in.draw("partition", fmt.Sprintf("%s#%d", ctrl, k))
+	d := rng.Exp(float64(in.cfg.PartitionMTBF))
+	if d < float64(simtime.Millisecond) {
+		d = float64(simtime.Millisecond)
+	}
+	l := rng.Exp(float64(in.cfg.PartitionMeanDur))
+	if l < float64(simtime.Millisecond) {
+		l = float64(simtime.Millisecond)
+	}
+	return simtime.Duration(d), simtime.Duration(l), true
+}
+
+// CountPartition records one controller-store partition event.
+func (in *Injector) CountPartition() {
+	if in != nil {
+		in.stats.Partitions++
+	}
+}
+
+// GrayNode reports whether a node is a gray failure (slow but alive),
+// keyed by node name so the gray set is stable across a run.
+func (in *Injector) GrayNode(node string) bool {
+	if in == nil || in.cfg.GrayNodeProb <= 0 {
+		return false
+	}
+	return in.draw("gray", node).Bool(in.cfg.GrayNodeProb)
+}
+
+// HeartbeatDelay returns the extra delay the node's seq-th heartbeat
+// suffers: zero for healthy nodes, an exponential draw keyed by
+// (node, seq) for gray ones.
+func (in *Injector) HeartbeatDelay(node string, seq int64) simtime.Duration {
+	if in == nil || !in.GrayNode(node) {
+		return 0
+	}
+	d := in.draw("graydelay", fmt.Sprintf("%s#%d", node, seq)).Exp(float64(in.cfg.GrayDelayMean))
+	if d <= 0 {
+		return 0
+	}
+	in.stats.GrayDelays++
+	return simtime.Duration(d)
+}
+
+// ClockSkew returns the controller's fixed clock skew, drawn uniformly
+// from [-ClockSkewMax, +ClockSkewMax] and keyed by controller name. It
+// is zero when skew injection is disabled.
+func (in *Injector) ClockSkew(ctrl string) simtime.Duration {
+	if in == nil || in.cfg.ClockSkewMax <= 0 {
+		return 0
+	}
+	max := float64(in.cfg.ClockSkewMax)
+	return simtime.Duration(in.draw("skew", ctrl).Float64()*2*max - max)
 }
 
 // CorruptBuffer flips the configured number of bits in data in place,

@@ -6,8 +6,14 @@ import (
 	"exist/internal/simtime"
 )
 
-func TestNilInjectorInjectsNothing(t *testing.T) {
+// TestNilInjector is the nil-receiver contract: every Injector method is
+// callable on a nil *Injector and injects nothing, so faults-off call
+// sites never need to branch on enablement (and can never panic).
+func TestNilInjector(t *testing.T) {
 	var in *Injector
+	if cfg := in.Config(); cfg != (Config{}) {
+		t.Fatalf("config = %+v", cfg)
+	}
 	if err := in.PutError("k", 0); err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +27,25 @@ func TestNilInjectorInjectsNothing(t *testing.T) {
 		t.Fatal("nil injector stalled")
 	}
 	if _, ok := in.NextCrash("n", 0); ok {
-		t.Fatal("nil injector crashed")
+		t.Fatal("nil injector crashed a node")
+	}
+	in.CountCrash()
+	if _, ok := in.NextCtrlCrash("ctrl-0", 0); ok {
+		t.Fatal("nil injector crashed a controller")
+	}
+	in.CountCtrlCrash()
+	if _, _, ok := in.NextPartition("ctrl-0", 0); ok {
+		t.Fatal("nil injector partitioned")
+	}
+	in.CountPartition()
+	if in.GrayNode("n") {
+		t.Fatal("nil injector grayed a node")
+	}
+	if d := in.HeartbeatDelay("n", 0); d != 0 {
+		t.Fatalf("heartbeat delay = %v", d)
+	}
+	if d := in.ClockSkew("ctrl-0"); d != 0 {
+		t.Fatalf("clock skew = %v", d)
 	}
 	data := []byte{1, 2, 3}
 	if n := in.CorruptBuffer("s", data); n != 0 {
@@ -153,6 +177,87 @@ func TestCrashSchedule(t *testing.T) {
 	mean := float64(sum) / float64(n)
 	if mean < 1.7e9 || mean > 2.3e9 {
 		t.Fatalf("mean crash delay %.3gns, want ~2e9", mean)
+	}
+}
+
+func TestCtrlCrashAndPartitionSchedules(t *testing.T) {
+	in := New(Config{Seed: 5, CtrlCrashMTBF: 3 * simtime.Second, PartitionMTBF: 2 * simtime.Second})
+	d1, ok := in.NextCtrlCrash("ctrl-0", 0)
+	if !ok || d1 < simtime.Millisecond {
+		t.Fatalf("ctrl crash delay %v ok=%v", d1, ok)
+	}
+	if d2, _ := in.NextCtrlCrash("ctrl-0", 0); d1 != d2 {
+		t.Fatalf("ctrl crash delay not stable: %v vs %v", d1, d2)
+	}
+	p1, l1, ok := in.NextPartition("ctrl-1", 2)
+	if !ok || p1 < simtime.Millisecond || l1 < simtime.Millisecond {
+		t.Fatalf("partition %v/%v ok=%v", p1, l1, ok)
+	}
+	p2, l2, _ := in.NextPartition("ctrl-1", 2)
+	if p1 != p2 || l1 != l2 {
+		t.Fatalf("partition draw not stable: %v/%v vs %v/%v", p1, l1, p2, l2)
+	}
+	// Disabled shapes report ok=false.
+	off := New(Config{Seed: 5})
+	if _, ok := off.NextCtrlCrash("c", 0); ok {
+		t.Fatal("ctrl crash without MTBF")
+	}
+	if _, _, ok := off.NextPartition("c", 0); ok {
+		t.Fatal("partition without MTBF")
+	}
+}
+
+func TestGrayNodesStableAndDelayed(t *testing.T) {
+	in := New(Config{Seed: 8, GrayNodeProb: 0.3, GrayDelayMean: 200 * simtime.Millisecond})
+	gray, healthy := 0, ""
+	for i := 0; i < 200; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		g := in.GrayNode(name)
+		if g != in.GrayNode(name) {
+			t.Fatalf("gray set unstable for %s", name)
+		}
+		if g {
+			gray++
+			if d := in.HeartbeatDelay(name, 1); d <= 0 {
+				t.Fatalf("gray node %s heartbeat delay = %v", name, d)
+			}
+			if d1, d2 := in.HeartbeatDelay(name, 7), in.HeartbeatDelay(name, 7); d1 != d2 {
+				t.Fatalf("heartbeat delay not keyed: %v vs %v", d1, d2)
+			}
+		} else if healthy == "" {
+			healthy = name
+		}
+	}
+	if gray < 30 || gray > 90 {
+		t.Fatalf("gray count %d of 200, want ~60", gray)
+	}
+	if d := in.HeartbeatDelay(healthy, 0); d != 0 {
+		t.Fatalf("healthy node delayed by %v", d)
+	}
+}
+
+func TestClockSkewBoundedAndStable(t *testing.T) {
+	max := 50 * simtime.Millisecond
+	in := New(Config{Seed: 4, ClockSkewMax: max})
+	var nonZero bool
+	for i := 0; i < 50; i++ {
+		name := string(rune('a' + i))
+		s := in.ClockSkew(name)
+		if s < -max || s > max {
+			t.Fatalf("skew %v outside ±%v", s, max)
+		}
+		if s != in.ClockSkew(name) {
+			t.Fatalf("skew unstable for %s", name)
+		}
+		if s != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("all skews zero")
+	}
+	if s := New(Config{Seed: 4}).ClockSkew("x"); s != 0 {
+		t.Fatalf("skew without ClockSkewMax = %v", s)
 	}
 }
 

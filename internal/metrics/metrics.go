@@ -222,6 +222,60 @@ func SlowdownFactor(base, with float64) float64 {
 	return with / base
 }
 
+// Uptime accumulates the total time a renewable claim was live — e.g.
+// the fraction of a run during which some controller held a valid
+// leader lease. Each Extend(now, until) call asserts the claim is live
+// from now until `until`; a later Extend may renew (overlap) or leave a
+// gap, and only covered time counts. All times are in the caller's unit
+// (the control plane passes virtual seconds).
+type Uptime struct {
+	covered    float64
+	validUntil float64
+	last       float64
+	gaps       int
+}
+
+// Extend marks the claim live on [now, until). Calls must have
+// non-decreasing now; until below now is ignored.
+func (u *Uptime) Extend(now, until float64) {
+	u.advance(now)
+	if until > u.validUntil {
+		u.validUntil = until
+	}
+}
+
+// advance accrues covered time up to now. A lapse is counted as one gap
+// at the moment coverage runs out, however many times advance observes
+// the hole afterwards.
+func (u *Uptime) advance(now float64) {
+	if now < u.last {
+		now = u.last
+	}
+	switch {
+	case u.validUntil >= now:
+		u.covered += now - u.last
+	case u.validUntil > u.last:
+		u.covered += u.validUntil - u.last
+		u.gaps++
+	}
+	u.last = now
+}
+
+// Fraction returns covered/end after accruing up to end: the fraction
+// of [0, end] during which the claim was live. It returns 0 for a
+// non-positive end.
+func (u *Uptime) Fraction(end float64) float64 {
+	if end <= 0 {
+		return 0
+	}
+	u.advance(end)
+	return u.covered / end
+}
+
+// Gaps returns how many times the claim lapsed before being renewed
+// (coverage holes observed so far).
+func (u *Uptime) Gaps() int { return u.gaps }
+
 // GeoMean returns the geometric mean of positive samples.
 func GeoMean(samples []float64) float64 {
 	if len(samples) == 0 {

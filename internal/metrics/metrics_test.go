@@ -180,3 +180,44 @@ func TestMean(t *testing.T) {
 		t.Fatal("Mean of empty should be 0")
 	}
 }
+
+func TestUptime(t *testing.T) {
+	// Continuous renewal: lease granted at 0 for 2, renewed at 1 for 2
+	// more, run ends at 3 — fully covered, no gaps.
+	var u Uptime
+	u.Extend(0, 2)
+	u.Extend(1, 3)
+	if f := u.Fraction(3); f != 1 {
+		t.Fatalf("continuous coverage = %v, want 1", f)
+	}
+	if u.Gaps() != 0 {
+		t.Fatalf("gaps = %d", u.Gaps())
+	}
+
+	// Lapse: covered [0,2), hole [2,5), re-acquired [5,8), end 10.
+	var v Uptime
+	v.Extend(0, 2)
+	v.Extend(5, 8)
+	if f := v.Fraction(10); f != 0.5 {
+		t.Fatalf("lapsed coverage = %v, want 0.5", f)
+	}
+	if v.Gaps() != 2 {
+		// One lapse at 2, a second when coverage runs out at 8.
+		t.Fatalf("gaps = %d, want 2", v.Gaps())
+	}
+
+	// Late first acquisition: hole [0,4) is uncovered but not a lapse.
+	var w Uptime
+	w.Extend(4, 10)
+	if f := w.Fraction(10); f != 0.6 {
+		t.Fatalf("late coverage = %v, want 0.6", f)
+	}
+	if w.Gaps() != 0 {
+		t.Fatalf("gaps = %d, want 0", w.Gaps())
+	}
+
+	var z Uptime
+	if f := z.Fraction(0); f != 0 {
+		t.Fatalf("empty fraction = %v", f)
+	}
+}
