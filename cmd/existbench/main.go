@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"sort"
 	"strings"
 	"testing"
@@ -48,6 +49,7 @@ func main() {
 		benchTol   = flag.Float64("benchtol", 0.2, "relative tolerance for -benchcheck (0.2 = ±20%)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		execTrace  = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (inspect with go tool trace)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,19 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
+		}
+		defer rtrace.Stop()
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs}
@@ -293,14 +308,21 @@ func measureHotPaths() (map[string]benchResult, datapathStats) {
 }
 
 // benchFile is the serialized benchmark snapshot (BENCH_harness.json).
+// GOMAXPROCS records the configuration the baseline was measured under, so
+// -benchcheck can refuse to compare throughput across unlike machines.
 type benchFile struct {
-	HotPaths map[string]benchResult `json:"hot_paths"`
-	Datapath *datapathStats         `json:"datapath,omitempty"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Jobs       int                    `json:"jobs"`
+	HotPaths   map[string]benchResult `json:"hot_paths"`
+	Datapath   *datapathStats         `json:"datapath,omitempty"`
 }
 
 // runBenchCheck re-measures the hot paths and fails if allocs/op or MB/s
 // regressed beyond tol against the recorded baseline, or if the packed
-// compression ratio dropped. Improvements always pass.
+// compression ratio dropped. Improvements always pass. Throughput is only
+// compared like-for-like: when the baseline was recorded under a different
+// GOMAXPROCS, MB/s rows are informational and only the scheduler-independent
+// metrics (allocs/op, compression ratio) gate.
 func runBenchCheck(path string, tol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -309,6 +331,11 @@ func runBenchCheck(path string, tol float64) error {
 	var base benchFile
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	sameConfig := base.GOMAXPROCS == 0 || base.GOMAXPROCS == runtime.GOMAXPROCS(0)
+	if !sameConfig {
+		fmt.Printf("baseline measured at GOMAXPROCS=%d, this run is %d: throughput rows informational only\n",
+			base.GOMAXPROCS, runtime.GOMAXPROCS(0))
 	}
 	hot, dp := measureHotPaths()
 	var problems []string
@@ -328,7 +355,7 @@ func runBenchCheck(path string, tol float64) error {
 				"%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
 				name, got.AllocsPerOp, want.AllocsPerOp, tol*100))
 		}
-		if want.MBPerS > 0 && got.MBPerS < want.MBPerS*(1-tol) {
+		if sameConfig && want.MBPerS > 0 && got.MBPerS < want.MBPerS*(1-tol) {
 			problems = append(problems, fmt.Sprintf(
 				"%s: %.1f MB/s is more than %.0f%% below baseline %.1f MB/s",
 				name, got.MBPerS, tol*100, want.MBPerS))
@@ -353,9 +380,12 @@ func runBenchCheck(path string, tol float64) error {
 // writeBenchJSON emits per-experiment wall times plus freshly measured
 // hot-path microbenchmarks on the shared hotbench fixtures.
 func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.RunReport, total time.Duration) error {
+	// cpu_ms is the process CPU consumed during the experiment's wall
+	// window — exact per-ID attribution only when jobs=1 (see RunReport.CPU).
 	type expTime struct {
 		ID     string  `json:"id"`
 		WallMS float64 `json:"wall_ms"`
+		CPUMS  float64 `json:"cpu_ms"`
 		Failed bool    `json:"failed,omitempty"`
 	}
 	hot, dp := measureHotPaths()
@@ -381,7 +411,10 @@ func writeBenchJSON(path string, cfg experiments.Config, reports []experiments.R
 	}
 	for _, rep := range reports {
 		out.Experiments = append(out.Experiments, expTime{
-			ID: rep.ID, WallMS: float64(rep.Wall) / float64(time.Millisecond), Failed: rep.Err != nil,
+			ID:     rep.ID,
+			WallMS: float64(rep.Wall) / float64(time.Millisecond),
+			CPUMS:  float64(rep.CPU) / float64(time.Millisecond),
+			Failed: rep.Err != nil,
 		})
 	}
 

@@ -258,6 +258,65 @@ type Program struct {
 	addrIndex  map[uint64]BlockID
 	entryOnce  sync.Once
 	entryIndex map[BlockID]int32
+	superOnce  sync.Once
+	super      []superStep
+}
+
+// superStep is the fused form of the maximal straight-line block chain
+// starting at a block: a run of TermFall/TermJump blocks plus the first
+// block whose terminator needs per-visit handling (a branch, call, return,
+// or syscall). The walker charges a whole chain with one pre-summed step
+// instead of one step per block; the chain's block-level aggregates are
+// recovered at Settle time by re-walking it once per distinct chain.
+type superStep struct {
+	cycles int64   // summed Cycles of the chain's n blocks
+	insns  int64   // summed Insns of the chain's n blocks
+	last   int64   // Cycles of the final block (budget checks are exact to it)
+	end    BlockID // block whose terminator ends the chain; NoBlock when capped
+	next   BlockID // resume block when the fusion cap cut a pure fall/jump run
+	n      int32
+}
+
+// maxFuse caps chain length so pure fall/jump cycles in the CFG cannot
+// make construction loop; capped chains resume at next.
+const maxFuse = 64
+
+// superSteps builds (once) and returns the per-block fused-chain table.
+// Like the lookup indexes, it is built under sync.Once so concurrent
+// walkers may share one Program.
+func (p *Program) superSteps() []superStep {
+	p.superOnce.Do(func() {
+		sup := make([]superStep, len(p.Blocks))
+		for i := range p.Blocks {
+			var st superStep
+			id := BlockID(i)
+			for {
+				b := &p.Blocks[id]
+				st.cycles += int64(b.Cycles)
+				st.insns += int64(b.Insns)
+				st.last = int64(b.Cycles)
+				st.n++
+				if b.Term != TermFall && b.Term != TermJump {
+					st.end = id
+					st.next = NoBlock
+					break
+				}
+				succ := b.Fall
+				if b.Term == TermJump {
+					succ = b.Taken
+				}
+				if st.n == maxFuse {
+					st.end = NoBlock
+					st.next = succ
+					break
+				}
+				id = succ
+			}
+			sup[i] = st
+		}
+		p.super = sup
+	})
+	return p.super
 }
 
 // BlockAt resolves a text address to the block starting there.
@@ -490,6 +549,45 @@ type BranchSink interface {
 	EmitBranches(evs []BranchEvent)
 }
 
+// TNTPack carries a batch's conditional-branch directions bit-packed in
+// emission order: bit i is the Taken direction of the i-th TermCond event
+// in the accompanying batch. Sinks that encode TNT packets can consume
+// directions straight from the pack instead of re-reading each event.
+type TNTPack struct {
+	Bits [branchBatchSize / 64]uint64
+	N    int
+}
+
+// push appends one direction bit.
+func (p *TNTPack) push(taken bool) {
+	if taken {
+		p.Bits[p.N>>6] |= 1 << (uint(p.N) & 63)
+	}
+	p.N++
+}
+
+// Slice returns k direction bits starting at bit index pos, LSB first.
+// k must be at most 58 so the extraction never spans more than two words
+// partially; callers consume TNT packets (6 bits) at a time.
+func (p *TNTPack) Slice(pos, k int) uint64 {
+	w := pos >> 6
+	off := uint(pos) & 63
+	v := p.Bits[w] >> off
+	if int(off)+k > 64 {
+		v |= p.Bits[w+1] << (64 - off)
+	}
+	return v & (1<<uint(k) - 1)
+}
+
+// PackedBranchSink is a BranchSink that can additionally accept the
+// batch's pre-packed TNT directions. Walkers hand batches to this
+// interface when the sink implements it, letting the TNT encoding path
+// skip per-event direction staging.
+type PackedBranchSink interface {
+	BranchSink
+	EmitBranchesPacked(evs []BranchEvent, tnt *TNTPack)
+}
+
 // funcSink adapts a per-event callback to the batch interface for the
 // legacy Walker.Run signature.
 type funcSink func(BranchEvent)
@@ -520,17 +618,26 @@ type Walker struct {
 	Count Counters
 
 	// batch is the pending emission buffer; events accumulate here and are
-	// handed to the sink branchBatchSize at a time.
+	// handed to the sink branchBatchSize at a time. tnt mirrors the
+	// batch's conditional directions bit-packed; packed is the sink's
+	// PackedBranchSink side when it has one (resolved once per RunBatch).
 	batch    [branchBatchSize]BranchEvent
 	batchLen int
+	tnt      TNTPack
+	packed   PackedBranchSink
 	// visits/touched and funcVisits/funcTouched defer the per-block and
 	// per-function-entry charging of one run: the hot loop records one
 	// counter increment per block, and settleCounters multiplies out the
 	// per-block costs once per distinct block instead of once per visit.
-	visits      []int64
-	touched     []BlockID
-	funcVisits  []int64
-	funcTouched []int32
+	// chainVisits/chainTouched do the same per fused chain (superStep):
+	// the fast path records one increment per chain execution, and settle
+	// re-walks each distinct chain once to charge its member blocks.
+	visits       []int64
+	touched      []BlockID
+	funcVisits   []int64
+	funcTouched  []int32
+	chainVisits  []int64
+	chainTouched []BlockID
 }
 
 // maxCallDepth bounds the simulated call stack; deeper direct recursion
@@ -582,23 +689,57 @@ func (w *Walker) RunBatch(budget int64, sink BranchSink) (used int64, reason Sto
 	if w.visits == nil {
 		w.visits = make([]int64, len(p.Blocks))
 		w.funcVisits = make([]int64, len(p.Funcs))
+		w.chainVisits = make([]int64, len(p.Blocks))
+	}
+	sup := p.superSteps()
+	if sink != nil {
+		w.packed, _ = sink.(PackedBranchSink)
+	} else {
+		w.packed = nil
 	}
 	blocks := p.Blocks
 	var insns int64
 	for used < budget {
 		id := w.cur
-		b := &blocks[id]
-		used += int64(b.Cycles)
-		insns += int64(b.Insns)
-		if w.visits[id] == 0 {
-			w.touched = append(w.touched, id)
+		st := &sup[id]
+		if used+st.cycles-st.last < budget {
+			// Fast path: the budget check for the chain's final block
+			// passes, so the whole fused chain executes (the final block
+			// may overshoot the budget, exactly as a single block may).
+			used += st.cycles
+			insns += st.insns
+			if w.chainVisits[id] == 0 {
+				w.chainTouched = append(w.chainTouched, id)
+			}
+			w.chainVisits[id]++
+			if st.end == NoBlock {
+				w.cur = st.next
+				continue
+			}
+			id = st.end
+		} else {
+			// The budget runs out inside this chain: execute a single
+			// block the pre-fusion way so the stop point stays exact.
+			b := &blocks[id]
+			used += int64(b.Cycles)
+			insns += int64(b.Insns)
+			if w.visits[id] == 0 {
+				w.touched = append(w.touched, id)
+			}
+			w.visits[id]++
+			switch b.Term {
+			case TermFall:
+				w.cur = b.Fall
+				continue
+			case TermJump:
+				w.cur = b.Taken
+				continue
+			}
 		}
-		w.visits[id]++
+		b := &blocks[id]
 
 		var next BlockID
 		switch b.Term {
-		case TermFall:
-			next = b.Fall
 		case TermCond:
 			taken := w.rng.Bool(float64(b.TakenProb))
 			w.Count.Branches++
@@ -615,8 +756,6 @@ func (w *Walker) RunBatch(budget int64, sink BranchSink) (used int64, reason Sto
 					Kind: TermCond, Taken: taken,
 				})
 			}
-		case TermJump:
-			next = b.Taken
 		case TermIndirectJump:
 			next = w.pickTarget(b)
 			w.Count.Branches++
@@ -686,14 +825,30 @@ func (w *Walker) RunBatch(budget int64, sink BranchSink) (used int64, reason Sto
 }
 
 // pushEvent appends one event to the pending batch, flushing to the sink
-// when the batch fills.
+// when the batch fills. Conditional directions are mirrored into the
+// batch's TNT pack so packed sinks can consume them without re-reading
+// the events.
 func (w *Walker) pushEvent(sink BranchSink, ev BranchEvent) {
+	if ev.Kind == TermCond {
+		w.tnt.push(ev.Taken)
+	}
 	w.batch[w.batchLen] = ev
 	w.batchLen++
 	if w.batchLen == branchBatchSize {
-		sink.EmitBranches(w.batch[:branchBatchSize])
-		w.batchLen = 0
+		w.flushBatch(sink)
 	}
+}
+
+// flushBatch hands the pending batch to the sink, via the packed
+// interface when the sink supports it, and resets the batch and pack.
+func (w *Walker) flushBatch(sink BranchSink) {
+	if w.packed != nil {
+		w.packed.EmitBranchesPacked(w.batch[:w.batchLen], &w.tnt)
+	} else {
+		sink.EmitBranches(w.batch[:w.batchLen])
+	}
+	w.batchLen = 0
+	w.tnt = TNTPack{}
 }
 
 // finishRun flushes the pending event batch; every RunBatch exit path
@@ -703,8 +858,7 @@ func (w *Walker) pushEvent(sink BranchSink, ev BranchEvent) {
 // timeslice.
 func (w *Walker) finishRun(sink BranchSink) {
 	if w.batchLen > 0 {
-		sink.EmitBranches(w.batch[:w.batchLen])
-		w.batchLen = 0
+		w.flushBatch(sink)
 	}
 }
 
@@ -721,17 +875,31 @@ func (w *Walker) settleCounters() {
 	for _, id := range w.touched {
 		n := w.visits[id]
 		w.visits[id] = 0
-		b := &p.Blocks[id]
-		w.Count.CatHits[p.Funcs[b.Func].Category] += n
-		for cls := 0; cls < NumMemClasses; cls++ {
-			for wd := 0; wd < 4; wd++ {
-				if v := b.MemOps[cls][wd]; v != 0 {
-					w.Count.MemOps[cls][wd] += n * int64(v)
+		w.chargeBlock(&p.Blocks[id], n)
+	}
+	w.touched = w.touched[:0]
+	if len(w.chainTouched) > 0 {
+		sup := p.superSteps()
+		for _, id := range w.chainTouched {
+			n := w.chainVisits[id]
+			w.chainVisits[id] = 0
+			st := &sup[id]
+			cur := id
+			for k := int32(0); ; k++ {
+				b := &p.Blocks[cur]
+				w.chargeBlock(b, n)
+				if k+1 == st.n {
+					break
+				}
+				if b.Term == TermJump {
+					cur = b.Taken
+				} else {
+					cur = b.Fall
 				}
 			}
 		}
+		w.chainTouched = w.chainTouched[:0]
 	}
-	w.touched = w.touched[:0]
 	if len(w.funcTouched) > 0 {
 		if w.Count.FuncEntries == nil {
 			w.Count.FuncEntries = make(map[int32]int64)
@@ -741,6 +909,18 @@ func (w *Walker) settleCounters() {
 			w.funcVisits[fn] = 0
 		}
 		w.funcTouched = w.funcTouched[:0]
+	}
+}
+
+// chargeBlock folds n visits of one block into the aggregate counters.
+func (w *Walker) chargeBlock(b *Block, n int64) {
+	w.Count.CatHits[w.prog.Funcs[b.Func].Category] += n
+	for cls := 0; cls < NumMemClasses; cls++ {
+		for wd := 0; wd < 4; wd++ {
+			if v := b.MemOps[cls][wd]; v != 0 {
+				w.Count.MemOps[cls][wd] += n * int64(v)
+			}
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"exist/internal/faults"
 	"exist/internal/memalloc"
 	"exist/internal/node"
+	"exist/internal/parallel"
 	"exist/internal/sched"
 	"exist/internal/simtime"
 	"exist/internal/trace"
@@ -249,6 +250,15 @@ type Node struct {
 
 	crashes int
 	hbSeq   int64
+	// hbFn is the cached heartbeat callback; the renewal loop re-arms the
+	// same closure every beat instead of allocating one per period.
+	hbFn func(now simtime.Time)
+	// eng is the engine the node's machine runs on: the cluster's shared
+	// engine, or the node's own clock under Config.Jobs parallelism.
+	eng *simtime.Engine
+	// doneBuf collects sessions that closed while the node was advancing
+	// concurrently; the barrier replays them on the control engine.
+	doneBuf []doneItem
 }
 
 // MgmtStats is the orchestration overhead ledger (Figure 17).
@@ -367,6 +377,14 @@ type Config struct {
 	// management CPU (cores) exceeds this budget.
 	AdmitCPUBudget float64
 
+	// Jobs, when > 1, advances the node machines on their own per-node
+	// engines across that many goroutines (DESIGN.md §14). The control
+	// plane stays on Eng and only runs while every node clock is parked
+	// at its time, so results are byte-identical to the single-engine
+	// run at any Jobs value. <= 1 keeps all nodes on the shared engine.
+	// Ignored for Lite clusters, whose nodes have no machines to advance.
+	Jobs int
+
 	// Lite, when true, builds bookkeeping-only nodes: no machines are
 	// provisioned and sessions are virtual timers rather than real
 	// traced workloads. The control plane (leases, elections, faults,
@@ -389,6 +407,23 @@ type sessionRec struct {
 	attempt int
 	// lost marks data destroyed by a node crash before upload.
 	lost bool
+	// endAt is when the session's window timer fires (open time + period).
+	// The parallel barrier may not advance any node past the earliest
+	// endAt: the completion calls back into the control plane.
+	endAt simtime.Time
+	// openSeq orders simultaneous window closes during barrier replay the
+	// same way the shared engine fires them: sessions opened earlier armed
+	// their timers earlier, so at equal times they close in open order.
+	openSeq int64
+}
+
+// doneItem is one session completion buffered during a concurrent node
+// advance, replayed on the control engine at the barrier.
+type doneItem struct {
+	at  simtime.Time
+	seq int64
+	rec *sessionRec
+	s   *core.Session
 }
 
 // resampleItem is one lost session slot awaiting re-scheduling.
@@ -443,9 +478,15 @@ type Cluster struct {
 	resampleRNG   *xrand.Rand
 	inflight      map[*core.Session]*sessionRec
 	liteInflight  map[string]*liteSession
+	reconcileFn   func(now simtime.Time) // cached periodic-reconcile callback
 	needResample  []resampleItem
 	pendingUpload []uploadItem
 	batchSeq      int64
+	openSeq       int64
+	// advancing is true while the node engines run concurrently between
+	// barriers; session completions observed then are buffered instead of
+	// calling into control-plane state from node goroutines.
+	advancing bool
 }
 
 // UploadStats tracks what the data path ships to the object store:
@@ -527,11 +568,11 @@ func New(cfg Config) *Cluster {
 		cfg.QueueMaxDelay = simtime.Second
 	}
 	c := &Cluster{
-		Cfg:         cfg,
-		Eng:         simtime.NewEngine(),
-		API:         NewAPIServer(),
-		OSS:         NewObjectStore(),
-		ODPS:        NewDataStore(),
+		Cfg:          cfg,
+		Eng:          simtime.NewEngine(),
+		API:          NewAPIServer(),
+		OSS:          NewObjectStore(),
+		ODPS:         NewDataStore(),
 		Binaries:     make(map[string]*binary.Program),
 		profiles:     make(map[string]workload.Profile),
 		byName:       make(map[string]*Node),
@@ -549,11 +590,19 @@ func New(cfg Config) *Cluster {
 			MemCapacityMB: 384 * 1024 / float64(cfg.Nodes), // 384 GB class nodes scaled per config
 		}
 		if !cfg.Lite {
+			// Under Jobs parallelism each node's machine runs on its own
+			// clock; the barrier in Run keeps it in lockstep with the
+			// control plane. Event order within a node is unchanged either
+			// way, since one engine still serializes all its events.
+			n.eng = c.Eng
+			if c.parallel() {
+				n.eng = simtime.NewEngine()
+			}
 			rt := node.Provision(node.Spec{
 				Cores:  cfg.CoresPerNode,
 				HT:     true, // sched default; nodes keep hyperthreaded topology
 				Seed:   cfg.Seed + uint64(i)*7919,
-				Engine: c.Eng,
+				Engine: n.eng,
 			})
 			n.Runtime = rt
 			n.Machine = rt.Machine
@@ -587,6 +636,9 @@ func New(cfg Config) *Cluster {
 
 // replicated reports whether the replicated control plane is active.
 func (c *Cluster) replicated() bool { return c.Cfg.Replicas > 0 }
+
+// parallel reports whether node machines run on per-node engines.
+func (c *Cluster) parallel() bool { return c.Cfg.Jobs > 1 && !c.Cfg.Lite }
 
 // Node returns a node by name.
 func (c *Cluster) Node(name string) (*Node, bool) {
@@ -647,15 +699,98 @@ func (c *Cluster) Request(name string, spec TraceRequestSpec) (*TraceRequest, er
 	return r, nil
 }
 
-// Run advances the whole cluster to the given time.
-func (c *Cluster) Run(until simtime.Time) { c.Eng.RunUntil(until) }
+// Run advances the whole cluster to the given time. With Config.Jobs > 1
+// the node machines advance concurrently between control-plane events;
+// see runParallel for why the result is identical to the shared-engine run.
+func (c *Cluster) Run(until simtime.Time) {
+	if c.parallel() {
+		c.runParallel(until)
+		return
+	}
+	c.Eng.RunUntil(until)
+}
+
+// runParallel is the conservative-barrier scheduler for per-node engines.
+//
+// The cluster's event graph has exactly two cross-engine edges. Control →
+// node: a control-plane event opens, cancels, or crashes sessions on a
+// node, synchronously, at the control clock's current time. Node →
+// control: a session window closes on the node's clock and its OnDone
+// callback resolves the slot on the control plane. Everything else is
+// node-local (machine scheduling, tracing) or control-local (reconciles,
+// heartbeats, retries, stores).
+//
+// Both edges are honored by never letting any clock run past the next
+// potential edge: each round picks the horizon tc = min(next control
+// event, earliest in-flight window close, until), advances every node
+// engine to tc concurrently — their event streams are mutually
+// independent below tc — then replays the window closes that were
+// buffered during the advance in (time, open-order), and finally fires
+// the control events at tc with every node clock parked exactly there.
+// Control code therefore always observes node clocks equal to its own,
+// and node sessions open/close in the same order, at the same times, with
+// the same per-engine event interleaving as on the shared engine: the
+// run's output is byte-identical at any Jobs value.
+func (c *Cluster) runParallel(until simtime.Time) {
+	for {
+		tc := until
+		if t, ok := c.Eng.PeekTime(); ok && t < tc {
+			tc = t
+		}
+		for _, rec := range c.inflight {
+			if rec.endAt < tc {
+				tc = rec.endAt
+			}
+		}
+
+		// Advance all node machines to tc on worker goroutines. Window
+		// closes at exactly tc buffer themselves (see openSession).
+		c.advancing = true
+		parallel.ForEach(len(c.Nodes), c.Cfg.Jobs, func(i int) {
+			c.Nodes[i].eng.RunUntil(tc)
+		})
+		c.advancing = false
+
+		// Replay buffered window closes on the control clock. They all
+		// landed at tc (earlier closes would have bounded tc), and at equal
+		// times the shared engine fires window timers in session-open order
+		// — the order their timers were armed.
+		var done []doneItem
+		for _, n := range c.Nodes {
+			done = append(done, n.doneBuf...)
+			n.doneBuf = n.doneBuf[:0]
+		}
+		sort.Slice(done, func(i, j int) bool {
+			if done[i].at != done[j].at {
+				return done[i].at < done[j].at
+			}
+			return done[i].seq < done[j].seq
+		})
+		if now := c.Eng.Now(); tc > now {
+			c.Eng.Advance(tc - now)
+		}
+		for _, d := range done {
+			c.finishSession(d.rec, d.s)
+		}
+
+		// Fire the control events at tc (which may open or cancel node
+		// sessions — every node clock now equals the control clock).
+		c.Eng.RunUntil(tc)
+		if tc >= until {
+			return
+		}
+	}
+}
 
 // scheduleReconcile arms the periodic controller loop.
 func (c *Cluster) scheduleReconcile() {
-	c.Eng.AfterDetached(c.Cfg.ReconcileEvery, func(now simtime.Time) {
-		c.reconcile(now)
-		c.scheduleReconcile()
-	})
+	if c.reconcileFn == nil {
+		c.reconcileFn = func(now simtime.Time) {
+			c.reconcile(now)
+			c.Eng.AfterDetached(c.Cfg.ReconcileEvery, c.reconcileFn)
+		}
+	}
+	c.Eng.AfterDetached(c.Cfg.ReconcileEvery, c.reconcileFn)
 }
 
 // scheduleHeartbeat arms one node's lease renewal loop. A down node
@@ -664,27 +799,33 @@ func (c *Cluster) scheduleReconcile() {
 // lease can lapse while the node is alive and working — a false
 // suspicion, the signature of gray failure.
 func (c *Cluster) scheduleHeartbeat(n *Node) {
-	c.Eng.AfterDetached(c.Cfg.HeartbeatEvery, func(now simtime.Time) {
-		if !n.Down {
-			if d := c.Cfg.Faults.HeartbeatDelay(n.Name, n.hbSeq); d > 0 {
-				c.Eng.AfterDetached(d, func(arrived simtime.Time) {
-					if n.Down {
-						return
-					}
-					if n.LeaseUntil <= arrived {
-						c.Mgmt.FalseSuspicions++
-					}
-					if until := now + c.Cfg.LeaseTTL; until > n.LeaseUntil {
-						n.LeaseUntil = until
-					}
-				})
-			} else {
-				n.LeaseUntil = now + c.Cfg.LeaseTTL
-			}
+	if n.hbFn == nil {
+		n.hbFn = func(now simtime.Time) { c.heartbeat(n, now) }
+	}
+	c.Eng.AfterDetached(c.Cfg.HeartbeatEvery, n.hbFn)
+}
+
+// heartbeat is one beat of a node's lease renewal loop; it re-arms itself.
+func (c *Cluster) heartbeat(n *Node, now simtime.Time) {
+	if !n.Down {
+		if d := c.Cfg.Faults.HeartbeatDelay(n.Name, n.hbSeq); d > 0 {
+			c.Eng.AfterDetached(d, func(arrived simtime.Time) {
+				if n.Down {
+					return
+				}
+				if n.LeaseUntil <= arrived {
+					c.Mgmt.FalseSuspicions++
+				}
+				if until := now + c.Cfg.LeaseTTL; until > n.LeaseUntil {
+					n.LeaseUntil = until
+				}
+			})
+		} else {
+			n.LeaseUntil = now + c.Cfg.LeaseTTL
 		}
-		n.hbSeq++
-		c.scheduleHeartbeat(n)
-	})
+	}
+	n.hbSeq++
+	c.Eng.AfterDetached(c.Cfg.HeartbeatEvery, n.hbFn)
 }
 
 // scheduleCrash arms the node's next injected crash, if crash injection
@@ -1010,9 +1151,21 @@ func (c *Cluster) openSession(r *TraceRequest, n *Node, attempt int) error {
 	}
 	r.usedNodes[n.Name] = true
 	r.sessions = append(r.sessions, sess)
-	rec := &sessionRec{req: r, node: n, attempt: attempt}
+	rec := &sessionRec{
+		req: r, node: n, attempt: attempt,
+		endAt:   n.eng.Now() + cfg.Period,
+		openSeq: c.openSeq,
+	}
+	c.openSeq++
 	c.inflight[sess] = rec
 	sess.OnDone(func(s *core.Session) {
+		if c.advancing {
+			// Concurrent node advance: park the completion for the
+			// barrier's replay instead of touching control state from a
+			// node goroutine.
+			n.doneBuf = append(n.doneBuf, doneItem{at: n.eng.Now(), seq: rec.openSeq, rec: rec, s: s})
+			return
+		}
 		c.finishSession(rec, s)
 	})
 	return nil

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"exist/internal/coverage"
+	"exist/internal/simtime"
+	"exist/internal/workload"
+)
+
+// scenarioSnapshot captures everything externally observable about a
+// cluster run: request outcomes, uploaded sessions, store accounting, the
+// decoded aggregate, and the control-plane counters. Two runs of the same
+// scenario must produce deeply equal snapshots no matter how the node
+// engines were scheduled.
+type scenarioSnapshot struct {
+	phases    []Phase
+	sessions  [][]string
+	puts      int64
+	bytes     int64
+	agg       map[string]float64
+	resamples int64
+	retries   int64
+}
+
+// runScenario drives a mixed request schedule — overlapping profiling and
+// anomaly windows plus a mid-window cancel — against a 6-node cluster with
+// the given Jobs setting. The cancel exercises the control→node edge while
+// per-node engines are parked at the barrier; the overlapping windows
+// exercise buffered window-close replay.
+func runScenario(t *testing.T, jobs int) scenarioSnapshot {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 6
+	cfg.CoresPerNode = 4
+	cfg.Seed = 11
+	cfg.Jobs = jobs
+	c := New(cfg)
+	agent, err := workload.ByName("Agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 424242 is unique to this file so progCache hands every run a
+	// Program whose lazy indexes were not pre-built by another test.
+	if err := c.Deploy(agent, nil, workload.InstallOpts{Walker: true, Scale: 1e-4, Seed: 424242}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]*TraceRequest, 6)
+	for i := 0; i < 6; i++ {
+		i := i
+		purpose := coverage.PurposeProfiling
+		name := fmt.Sprintf("prof-%d", i)
+		if i%2 == 1 {
+			purpose = coverage.PurposeAnomaly
+			name = fmt.Sprintf("diag-%d", i)
+		}
+		at := simtime.Time(i) * simtime.Time(300*simtime.Millisecond)
+		c.Eng.Schedule(at, func(simtime.Time) {
+			r, err := c.Request(name, TraceRequestSpec{
+				App:     "Agent",
+				Purpose: purpose,
+				Period:  400 * simtime.Millisecond,
+			})
+			if err == nil {
+				reqs[i] = r
+			}
+		})
+	}
+	// Cancel request 2 mid-window: opened at 600ms, killed at 800ms.
+	c.Eng.Schedule(simtime.Time(800*simtime.Millisecond), func(simtime.Time) {
+		if reqs[2] != nil && !reqs[2].Phase.Terminal() {
+			c.Cancel(reqs[2])
+		}
+	})
+	c.Run(6 * simtime.Second)
+
+	snap := scenarioSnapshot{
+		puts:      c.OSS.Puts(),
+		bytes:     c.OSS.Bytes(),
+		agg:       c.ODPS.AggregateApp("Agent"),
+		resamples: c.Mgmt.Resamples,
+		retries:   c.Mgmt.Retries,
+	}
+	for _, r := range reqs {
+		if r == nil {
+			t.Fatal("request never created")
+		}
+		snap.phases = append(snap.phases, r.Phase)
+		snap.sessions = append(snap.sessions, append([]string(nil), r.SessionKeys...))
+	}
+	return snap
+}
+
+// TestParallelNodesMatchSerial is the node-parallel determinism contract:
+// the same scenario run with per-node engines on 4 goroutines must be
+// observationally identical to the serial shared-engine run, at any
+// GOMAXPROCS. DESIGN.md §14 describes the barrier scheme this relies on.
+func TestParallelNodesMatchSerial(t *testing.T) {
+	serial := runScenario(t, 1)
+	if serial.phases[2] != PhaseCancelled {
+		t.Fatalf("request 2 phase = %s, want Cancelled", serial.phases[2])
+	}
+	if len(serial.agg) == 0 || serial.puts == 0 {
+		t.Fatal("scenario produced no data; comparison would be vacuous")
+	}
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			par := runScenario(t, 4)
+			if !reflect.DeepEqual(par, serial) {
+				t.Errorf("jobs=4 diverged from jobs=1:\nserial: %+v\nparallel: %+v", serial, par)
+			}
+		})
+	}
+}
+
+// TestParallelNodesRepeatable runs the parallel scenario twice and requires
+// deep equality — the per-node engines must not leak scheduling order into
+// results even against themselves.
+func TestParallelNodesRepeatable(t *testing.T) {
+	first := runScenario(t, 4)
+	second := runScenario(t, 4)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("repeated jobs=4 runs diverged:\nfirst: %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestSharedProgramLazyIndexes has all six node engines concurrently walk
+// one shared *binary.Program (progCache memoizes on the spec+seed key, so
+// every node holds the same instance). The first windows race to build the
+// lazy address/entry indexes and the superop table; under -race this fails
+// unless those builds are properly synchronized (sync.Once in binary.go).
+func TestSharedProgramLazyIndexes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 6
+	cfg.CoresPerNode = 2
+	cfg.Seed = 12
+	cfg.Jobs = 6
+	c := New(cfg)
+	agent, err := workload.ByName("Agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh seed again: the indexes must be unbuilt when the six engines
+	// hit them, or the race window this test exists for never opens.
+	if err := c.Deploy(agent, nil, workload.InstallOpts{Walker: true, Scale: 1e-4, Seed: 525252}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := c.Request("r", TraceRequestSpec{
+		App:     "Agent",
+		Purpose: coverage.PurposeAnomaly,
+		Period:  200 * simtime.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * simtime.Second)
+	if req.Phase != PhaseCompleted {
+		t.Fatalf("phase = %s (%s)", req.Phase, req.Message)
+	}
+	if len(req.SessionKeys) != 6 {
+		t.Fatalf("sessions = %v, want one per node", req.SessionKeys)
+	}
+}

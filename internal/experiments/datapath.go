@@ -7,6 +7,7 @@ import (
 	"exist/internal/cluster"
 	"exist/internal/coverage"
 	"exist/internal/hotbench"
+	"exist/internal/parallel"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
 	"exist/internal/trace"
@@ -76,6 +77,7 @@ func runDatapath(cfg Config) (*Result, error) {
 		ccfg.Seed = cfg.Seed
 		ccfg.Nodes = 6
 		ccfg.CoresPerNode = 4
+		ccfg.Jobs = parallel.Workers(cfg.Jobs)
 		ccfg.UploadBatch = batch
 		c := cluster.New(ccfg)
 		agent, err := workload.ByName("Agent")

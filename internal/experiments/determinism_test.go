@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -31,6 +33,48 @@ func TestParallelDeterminism(t *testing.T) {
 		if got, ok := par.Metrics[name]; !ok || got != want {
 			t.Errorf("metric %s: jobs=8 %v, jobs=1 %v", name, got, want)
 		}
+	}
+}
+
+// TestNodeParallelDeterminism pins the node-parallel path's contract: the
+// resilience experiment — whose fault levels fan out across workers AND
+// whose clusters advance per-node engines on goroutines when Jobs > 1 —
+// must render byte-identically with exactly equal metrics for every
+// combination of jobs and GOMAXPROCS. This is the property that lets CI
+// diff parallel stdout against serial golden output.
+func TestNodeParallelDeterminism(t *testing.T) {
+	e, err := ByID("resilience")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(jobs, procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := e.Run(Config{Quick: true, Seed: 1, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d procs=%d: %v", jobs, procs, err)
+		}
+		return res
+	}
+	ref := runWith(1, 1)
+	for _, tc := range []struct{ jobs, procs int }{
+		{1, 4}, {4, 1}, {4, 4},
+	} {
+		t.Run(fmt.Sprintf("jobs=%d,procs=%d", tc.jobs, tc.procs), func(t *testing.T) {
+			got := runWith(tc.jobs, tc.procs)
+			if got.Render() != ref.Render() {
+				t.Errorf("rendered output differs from jobs=1,procs=1:\n--- ref ---\n%s\n--- got ---\n%s",
+					ref.Render(), got.Render())
+			}
+			if len(got.Metrics) != len(ref.Metrics) {
+				t.Fatalf("metric count %d, want %d", len(got.Metrics), len(ref.Metrics))
+			}
+			for name, want := range ref.Metrics {
+				if v, ok := got.Metrics[name]; !ok || v != want {
+					t.Errorf("metric %s: got %v, want exactly %v", name, v, want)
+				}
+			}
+		})
 	}
 }
 

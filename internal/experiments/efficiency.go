@@ -259,6 +259,7 @@ func runTab04(cfg Config) (*Result, error) {
 func runFig17(cfg Config) (*Result, error) {
 	ccfg := cluster.DefaultConfig()
 	ccfg.Seed = cfg.Seed
+	ccfg.Jobs = parallel.Workers(cfg.Jobs)
 	if cfg.Quick {
 		ccfg.Nodes = 4
 		ccfg.CoresPerNode = 4

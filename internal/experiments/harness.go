@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"syscall"
 	"time"
 
 	"exist/internal/parallel"
@@ -18,6 +19,21 @@ type RunReport struct {
 	Err error
 	// Wall is the experiment's wall-clock runtime.
 	Wall time.Duration
+	// CPU is the process CPU (user+system) consumed during the
+	// experiment's wall window. With Jobs=1 this is the experiment's own
+	// cost; with concurrent experiments the windows overlap, so per-ID
+	// attribution is only exact in serial runs (benchmark harnesses
+	// record CPU from -jobs 1 passes).
+	CPU time.Duration
+}
+
+// cpuTime reads the process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
 }
 
 // RunAll executes the named experiments — concurrently when cfg.Jobs allows
@@ -35,8 +51,10 @@ func RunAll(cfg Config, ids []string) []RunReport {
 		}
 		rep.Title, rep.Paper = e.Title, e.Paper
 		start := time.Now()
+		cpuStart := cpuTime()
 		rep.Result, rep.Err = e.Run(cfg)
 		rep.Wall = time.Since(start)
+		rep.CPU = cpuTime() - cpuStart
 		return rep
 	})
 }

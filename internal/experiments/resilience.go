@@ -8,6 +8,7 @@ import (
 	"exist/internal/cluster"
 	"exist/internal/coverage"
 	"exist/internal/faults"
+	"exist/internal/parallel"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
 	"exist/internal/workload"
@@ -43,6 +44,7 @@ func runResilienceLevel(cfg Config, fc faults.Config, ref map[string]float64) (r
 	ccfg.Seed = cfg.Seed
 	ccfg.Nodes = 8
 	ccfg.CoresPerNode = 4
+	ccfg.Jobs = parallel.Workers(cfg.Jobs)
 	if cfg.Quick {
 		ccfg.Nodes = 6
 	}
@@ -178,23 +180,48 @@ func runResilience(cfg Config) (*Result, error) {
 		Header: []string{"loss rate", "terminal", "with coverage", "completed", "degraded",
 			"mean coverage", "accuracy", "resamples"},
 	}
-	var ref map[string]float64
-	for _, rate := range lossRates {
-		fc := faults.Config{}
-		if rate > 0 {
-			fc = faults.Config{
-				Seed:            cfg.Seed + 77,
-				SessionLossProb: rate,
-				CorruptProb:     rate / 2,
-				TruncateProb:    rate / 2,
-			}
-		}
-		run, hist, err := runResilienceLevel(cfg, fc, ref)
-		if err != nil {
-			return nil, err
-		}
-		if ref == nil {
-			ref = hist
+	// The fault-free level runs first: its decoded histogram is the
+	// accuracy reference every other level scores against. The faulted
+	// levels (and the mixed-fault stress below) only depend on that
+	// reference, so they fan out across the worker pool; results are
+	// harvested in input order, keeping the output byte-identical to the
+	// serial sweep.
+	refRun, ref, err := runResilienceLevel(cfg, faults.Config{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	levelCfgs := make([]faults.Config, 0, len(lossRates))
+	for _, rate := range lossRates[1:] {
+		levelCfgs = append(levelCfgs, faults.Config{
+			Seed:            cfg.Seed + 77,
+			SessionLossProb: rate,
+			CorruptProb:     rate / 2,
+			TruncateProb:    rate / 2,
+		})
+	}
+	mixedFc := faults.Config{
+		Seed:            cfg.Seed + 177,
+		PutFailProb:     0.15,
+		InsertFailProb:  0.15,
+		SessionLossProb: 0.10,
+		CorruptProb:     0.05,
+		TruncateProb:    0.05,
+		StallProb:       0.10,
+		CrashMTBF:       4 * simtime.Second,
+		CrashDowntime:   1 * simtime.Second,
+	}
+	levelCfgs = append(levelCfgs, mixedFc)
+	faulted, err := parallel.MapErr(len(levelCfgs), cfg.Jobs, func(i int) (resilienceRun, error) {
+		run, _, err := runResilienceLevel(cfg, levelCfgs[i], ref)
+		return run, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, rate := range lossRates {
+		run := refRun
+		if li > 0 {
+			run = faulted[li-1]
 		}
 		t1.AddRow(
 			fmt.Sprintf("%.0f%%", rate*100),
@@ -219,22 +246,9 @@ func runResilience(cfg Config) (*Result, error) {
 
 	// Sweep 2: the full fault soup — crashes, store errors, stalls — to
 	// show the control plane machinery (leases, retries, deadlines)
-	// holding the line rather than a single fault type.
-	fc := faults.Config{
-		Seed:            cfg.Seed + 177,
-		PutFailProb:     0.15,
-		InsertFailProb:  0.15,
-		SessionLossProb: 0.10,
-		CorruptProb:     0.05,
-		TruncateProb:    0.05,
-		StallProb:       0.10,
-		CrashMTBF:       4 * simtime.Second,
-		CrashDowntime:   1 * simtime.Second,
-	}
-	run, _, err := runResilienceLevel(cfg, fc, ref)
-	if err != nil {
-		return nil, err
-	}
+	// holding the line rather than a single fault type. It already ran as
+	// the last fanned-out level above.
+	run := faulted[len(faulted)-1]
 	t2 := &tabular.Table{
 		Title:  "Mixed-fault stress (crashes + store errors + stalls + 10% loss): control-plane counters",
 		Header: []string{"counter", "value"},

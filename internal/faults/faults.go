@@ -160,6 +160,12 @@ func (f Fate) String() string {
 type Injector struct {
 	cfg   Config
 	stats Stats
+	// scratch is the one Rand cycled through every decision stream via
+	// in-place reseeding, so a fault draw allocates nothing. The returned
+	// stream is only valid until the next draw, which matches how every
+	// method uses it; it also means an Injector must not be shared across
+	// concurrently running engines (each cluster owns its own).
+	scratch *xrand.Rand
 }
 
 // New returns an injector for the config.
@@ -201,9 +207,31 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
+// begin starts the label hash for one decision kind. Folding the pieces
+// ("faults/" + kind + "/" + id) into the hash one by one derives the same
+// seed as Split over the concatenated label, without building the string.
+func (in *Injector) begin(kind string) xrand.SplitHash {
+	return xrand.BeginSplit(in.cfg.Seed).String("faults/").String(kind).String("/")
+}
+
+// reseed points the scratch stream at the decision seed accumulated in h.
+func (in *Injector) reseed(h xrand.SplitHash) *xrand.Rand {
+	if in.scratch == nil {
+		in.scratch = xrand.New(0)
+	}
+	in.scratch.ReseedSplit(h)
+	return in.scratch
+}
+
 // draw returns the per-decision stream for a stable identifier.
 func (in *Injector) draw(kind, id string) *xrand.Rand {
-	return xrand.Split(in.cfg.Seed, "faults/"+kind+"/"+id)
+	return in.reseed(in.begin(kind).String(id))
+}
+
+// drawN returns the per-decision stream for a "name#k" identifier, hashing
+// the counter's decimal form directly.
+func (in *Injector) drawN(kind, name string, k int64) *xrand.Rand {
+	return in.reseed(in.begin(kind).String(name).String("#").Int(k))
 }
 
 // PutError decides whether one object-store Put attempt fails. The
@@ -213,7 +241,7 @@ func (in *Injector) PutError(key string, attempt int) error {
 	if in == nil || in.cfg.PutFailProb <= 0 {
 		return nil
 	}
-	if in.draw("put", fmt.Sprintf("%s#%d", key, attempt)).Bool(in.cfg.PutFailProb) {
+	if in.drawN("put", key, int64(attempt)).Bool(in.cfg.PutFailProb) {
 		in.stats.PutFailures++
 		return fmt.Errorf("faults: transient object-store error on %q (attempt %d)", key, attempt)
 	}
@@ -225,7 +253,7 @@ func (in *Injector) InsertError(batch string, attempt int) error {
 	if in == nil || in.cfg.InsertFailProb <= 0 {
 		return nil
 	}
-	if in.draw("insert", fmt.Sprintf("%s#%d", batch, attempt)).Bool(in.cfg.InsertFailProb) {
+	if in.drawN("insert", batch, int64(attempt)).Bool(in.cfg.InsertFailProb) {
 		in.stats.InsertFailures++
 		return fmt.Errorf("faults: transient structured-store error on %q (attempt %d)", batch, attempt)
 	}
@@ -264,7 +292,7 @@ func (in *Injector) StallReconcile(n int64) bool {
 	if in == nil || in.cfg.StallProb <= 0 {
 		return false
 	}
-	if in.draw("stall", fmt.Sprintf("%d", n)).Bool(in.cfg.StallProb) {
+	if in.reseed(in.begin("stall").Int(n)).Bool(in.cfg.StallProb) {
 		in.stats.Stalls++
 		return true
 	}
@@ -277,7 +305,7 @@ func (in *Injector) NextCrash(node string, k int) (simtime.Duration, bool) {
 	if in == nil || in.cfg.CrashMTBF <= 0 {
 		return 0, false
 	}
-	d := in.draw("crash", fmt.Sprintf("%s#%d", node, k)).Exp(float64(in.cfg.CrashMTBF))
+	d := in.drawN("crash", node, int64(k)).Exp(float64(in.cfg.CrashMTBF))
 	if d < float64(simtime.Millisecond) {
 		d = float64(simtime.Millisecond)
 	}
@@ -298,7 +326,7 @@ func (in *Injector) NextCtrlCrash(ctrl string, k int) (simtime.Duration, bool) {
 	if in == nil || in.cfg.CtrlCrashMTBF <= 0 {
 		return 0, false
 	}
-	d := in.draw("ctrlcrash", fmt.Sprintf("%s#%d", ctrl, k)).Exp(float64(in.cfg.CtrlCrashMTBF))
+	d := in.drawN("ctrlcrash", ctrl, int64(k)).Exp(float64(in.cfg.CtrlCrashMTBF))
 	if d < float64(simtime.Millisecond) {
 		d = float64(simtime.Millisecond)
 	}
@@ -319,7 +347,7 @@ func (in *Injector) NextPartition(ctrl string, k int) (delay, dur simtime.Durati
 	if in == nil || in.cfg.PartitionMTBF <= 0 {
 		return 0, 0, false
 	}
-	rng := in.draw("partition", fmt.Sprintf("%s#%d", ctrl, k))
+	rng := in.drawN("partition", ctrl, int64(k))
 	d := rng.Exp(float64(in.cfg.PartitionMTBF))
 	if d < float64(simtime.Millisecond) {
 		d = float64(simtime.Millisecond)
@@ -354,7 +382,7 @@ func (in *Injector) HeartbeatDelay(node string, seq int64) simtime.Duration {
 	if in == nil || !in.GrayNode(node) {
 		return 0
 	}
-	d := in.draw("graydelay", fmt.Sprintf("%s#%d", node, seq)).Exp(float64(in.cfg.GrayDelayMean))
+	d := in.drawN("graydelay", node, seq).Exp(float64(in.cfg.GrayDelayMean))
 	if d <= 0 {
 		return 0
 	}

@@ -296,6 +296,96 @@ func (t *Tracer) OnBranchBatch(now simtime.Time, evs []binary.BranchEvent) {
 	t.flushStage()
 }
 
+// OnBranchBatchPacked is OnBranchBatch for walkers that deliver the
+// batch's conditional directions pre-packed (binary.TNTPack). It is byte-
+// and stat-identical to the unpacked path, but runs of consecutive
+// conditional events consume the pack six directions at a time straight
+// into TNT packets, eliminating the per-branch direction staging.
+func (t *Tracer) OnBranchBatchPacked(now simtime.Time, evs []binary.BranchEvent, pack *binary.TNTPack) {
+	if !t.Enabled() || t.ctl&CtlBranchEn == 0 {
+		return
+	}
+	if !t.contextOn {
+		t.Stats.FilteredEvents += int64(len(evs))
+		return
+	}
+	if t.out.Stopped() {
+		t.Stats.DroppedEvents += int64(len(evs))
+		return
+	}
+	t.stageAvail = t.out.Remaining()
+	t.stageFailed = false
+	t.chunk = t.chunk[:0]
+	cyc := t.ctl&CtlCYCEn != 0
+	n := len(evs)
+	ci := 0 // pack cursor: conditional directions consumed so far
+	i := 0
+	for i < n {
+		if t.stageFailed {
+			// The per-packet path re-checks out.Stopped() before every
+			// event; a failed staged write is that same boundary.
+			t.Stats.DroppedEvents += int64(n - i)
+			break
+		}
+		ev := &evs[i]
+		if ev.Kind == binary.TermCond {
+			j := i + 1
+			for j < n && evs[j].Kind == binary.TermCond {
+				j++
+			}
+			done := t.stageTNTRun(pack, ci, j-i)
+			ci += done
+			i += done
+			t.curIP = evs[i-1].To
+			continue
+		}
+		t.curIP = ev.To
+		// Indirect transfer: order is TNT flush, optional CYC, then TIP.
+		t.stageTNT()
+		if cyc {
+			p := len(t.chunk)
+			t.chunk = AppendCYC(t.chunk, 16)
+			t.stagePkt(p)
+		}
+		p := len(t.chunk)
+		t.chunk = AppendTIP(t.chunk, PktTIP, ev.To)
+		t.stagePkt(p)
+		t.Stats.TIPs++
+		if len(t.chunk) >= stageFlushBytes {
+			t.flushStage()
+		}
+		i++
+	}
+	t.flushStage()
+}
+
+// stageTNTRun folds run packed conditional directions (starting at pack
+// bit at) into TNT packets: pending bits from earlier events complete
+// their packet first, then whole six-bit packets peel straight off the
+// pack. It returns the number of directions consumed — the full run
+// unless a staged write fails, in which case consumption stops with the
+// event whose direction completed the failing packet, matching the
+// per-event path's drop boundary.
+func (t *Tracer) stageTNTRun(pack *binary.TNTPack, at, run int) int {
+	done := 0
+	for done < run {
+		k := 6 - t.tntLen
+		if k > run-done {
+			k = run - done
+		}
+		t.tntBits |= uint8(pack.Slice(at+done, k)) << uint(t.tntLen)
+		t.tntLen += k
+		done += k
+		if t.tntLen == 6 {
+			t.stageTNT()
+			if t.stageFailed {
+				return done
+			}
+		}
+	}
+	return run
+}
+
 // stageTNT stages any buffered TNT bits as one short TNT packet (the
 // staged twin of flushTNT).
 func (t *Tracer) stageTNT() {

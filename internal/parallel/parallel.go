@@ -11,10 +11,42 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// Panic carries a panic recovered from a worker goroutine back to the
+// caller: the original value plus the stack of the goroutine that raised
+// it. Re-raising loses the raising goroutine's stack trace, so ForEach
+// wraps the first failure in a Panic before re-panicking — the crash
+// output then shows the worker frame that actually failed, not just the
+// pool drain in the caller.
+type Panic struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error so recovered Panics compose with errors.As-style
+// handling in callers that turn panics into failures.
+func (p *Panic) Error() string { return p.String() }
+
+// Unwrap exposes the original value to errors.Is/As when it was an error.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// String formats the original value followed by the worker stack.
+func (p *Panic) String() string {
+	return fmt.Sprintf("%v\n\nworker stack:\n%s", p.Value, p.Stack)
+}
 
 // Workers resolves a -jobs style request: n > 0 is taken as given, n <= 0
 // defaults to GOMAXPROCS (use every core the runtime will schedule on).
@@ -28,9 +60,13 @@ func Workers(n int) int {
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
 // (workers <= 0 means GOMAXPROCS). Items are claimed dynamically, so
 // uneven item costs still fill all workers. It returns when every call
-// has finished. A panic in any item is re-raised in the caller after the
-// pool drains, so failures surface in the calling test or tool, not as an
-// orphan goroutine crash.
+// has finished or the pool stopped early on a failure.
+//
+// A panic in any item stops the pool: workers finish the item they are
+// on but claim no new ones, and the first failure is re-raised in the
+// caller wrapped in *Panic, preserving the failing worker's stack. So a
+// crash in one sweep cell surfaces in the calling test or tool with the
+// cell's own trace, without burning the remaining items' work first.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -48,14 +84,15 @@ func ForEach(n, workers int, fn func(i int)) {
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
+		stop     atomic.Bool
 		panicMu  sync.Mutex
-		panicked any
+		panicked *Panic
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -63,9 +100,14 @@ func ForEach(n, workers int, fn func(i int)) {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							stop.Store(true)
+							p, ok := r.(*Panic) // nested pools: keep the innermost stack
+							if !ok {
+								p = &Panic{Value: r, Stack: debug.Stack()}
+							}
 							panicMu.Lock()
 							if panicked == nil {
-								panicked = r
+								panicked = p
 							}
 							panicMu.Unlock()
 						}

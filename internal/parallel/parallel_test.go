@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -98,6 +100,61 @@ func TestForEachPanicPropagates(t *testing.T) {
 }
 
 var errBoom = errors.New("boom")
+
+// panicHelper raises from a named frame so the stack test below can
+// assert the worker's trace survived the hop across goroutines.
+func panicHelper() {
+	panic(errBoom)
+}
+
+func TestForEachPanicKeepsWorkerStack(t *testing.T) {
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", r)
+		}
+		if p.Value != error(errBoom) {
+			t.Fatalf("Panic.Value = %v", p.Value)
+		}
+		if !strings.Contains(string(p.Stack), "panicHelper") {
+			t.Fatalf("worker stack lost the raising frame:\n%s", p.Stack)
+		}
+		if !errors.Is(p, errBoom) {
+			t.Fatal("Panic does not unwrap to the original error")
+		}
+	}()
+	ForEach(10, 4, func(i int) {
+		if i == 0 {
+			panicHelper()
+		}
+	})
+}
+
+// TestForEachPanicStopsEarly checks that a failure stops the pool from
+// claiming new items instead of burning through the whole range. Item 0
+// panics immediately; every other item costs real time, so if the stop
+// flag were ignored the two workers would have to grind through all
+// remaining items before the panic resurfaced.
+func TestForEachPanicStopsEarly(t *testing.T) {
+	const n = 100_000
+	var ran atomic.Int64
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if got := ran.Load(); got >= n-1 {
+			t.Fatalf("pool ran all %d items after the panic; early stop is broken", got)
+		}
+	}()
+	ForEach(n, 2, func(i int) {
+		if i == 0 {
+			panic(errBoom)
+		}
+		ran.Add(1)
+		time.Sleep(50 * time.Microsecond)
+	})
+}
 
 // TestForEachConcurrentStress exercises the pool under -race: shared
 // per-slot writes must not race, and the dynamic claim counter must never

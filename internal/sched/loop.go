@@ -31,6 +31,19 @@ func (e *branchEmitter) EmitBranches(evs []binary.BranchEvent) {
 	}
 }
 
+// EmitBranchesPacked implements binary.PackedBranchSink: the tracer
+// consumes conditional directions straight from the walker's TNT pack.
+func (e *branchEmitter) EmitBranchesPacked(evs []binary.BranchEvent, tnt *binary.TNTPack) {
+	if e.tracerOn {
+		e.tracer.OnBranchBatchPacked(e.now, evs, tnt)
+	}
+	if e.listener != nil {
+		for i := range evs {
+			e.listener(e.thread, e.now, evs[i])
+		}
+	}
+}
+
 // setCur installs t (or nil) as the core's running thread, maintaining the
 // per-LLC occupancy counters consulted by interference. Every mutation of
 // c.cur must go through here.
@@ -120,10 +133,13 @@ func (m *Machine) kickDispatch(c *Core, at simtime.Time) {
 		return
 	}
 	c.dispatchPending = true
-	m.Eng.ScheduleDetached(at, func(now simtime.Time) {
-		c.dispatchPending = false
-		m.dispatch(c, now)
-	})
+	if c.dispatchFn == nil {
+		c.dispatchFn = func(now simtime.Time) {
+			c.dispatchPending = false
+			m.dispatch(c, now)
+		}
+	}
+	m.Eng.ScheduleDetached(at, c.dispatchFn)
 }
 
 // dispatch picks the next thread for an idle core, or completes the
@@ -245,7 +261,7 @@ func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
 		sink = &c.emitter
 	}
 
-	ctx := RunContext{
+	c.runCtx = RunContext{
 		Core:          c,
 		Start:         now,
 		MaxNS:         m.Cfg.Timeslice,
@@ -253,7 +269,7 @@ func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
 		TracingActive: tracingActive,
 		Sink:          sink,
 	}
-	res := t.Exec.Run(&ctx)
+	res := t.Exec.Run(&c.runCtx)
 	if res.UsedNS <= 0 {
 		panic(fmt.Sprintf("sched: exec for %s returned non-positive segment", t.Proc.Name))
 	}
@@ -275,9 +291,16 @@ func (m *Machine) startSegment(c *Core, t *Thread, now simtime.Time) {
 	t.Stats.Insns += res.Insns
 	t.Stats.Branches += res.Branches
 
-	m.Eng.ScheduleDetached(now+res.UsedNS+stall, func(end simtime.Time) {
-		m.segmentEnd(c, t, res, end)
-	})
+	c.pendThread = t
+	c.pendRes = res
+	if c.segEndFn == nil {
+		c.segEndFn = func(end simtime.Time) {
+			pt := c.pendThread
+			c.pendThread = nil
+			m.segmentEnd(c, pt, c.pendRes, end)
+		}
+	}
+	m.Eng.ScheduleDetached(now+res.UsedNS+stall, c.segEndFn)
 }
 
 // segmentEnd handles a completed segment: syscall processing, blocking,
@@ -305,9 +328,12 @@ func (m *Machine) segmentEnd(c *Core, t *Thread, res RunResult, now simtime.Time
 		if t.rng.Bool(spec.BlockProb) {
 			dur := spec.BlockDuration(t.rng)
 			t.State = Blocked
-			m.Eng.ScheduleDetached(now+cost+dur, func(wake simtime.Time) {
-				m.enqueue(t, wake)
-			})
+			if t.wakeFn == nil {
+				t.wakeFn = func(wake simtime.Time) {
+					m.enqueue(t, wake)
+				}
+			}
+			m.Eng.ScheduleDetached(now+cost+dur, t.wakeFn)
 			m.kickDispatch(c, now+cost)
 			return
 		}

@@ -139,6 +139,9 @@ type Thread struct {
 	lastCore     int
 	lastSwitchAt simtime.Time
 	queued       bool
+	// wakeFn is the thread's cached blocking-syscall wakeup callback; a
+	// thread blocks on at most one syscall at a time.
+	wakeFn func(wake simtime.Time)
 }
 
 // LastCore returns the core the thread most recently ran on (-1 before
@@ -222,9 +225,22 @@ type Core struct {
 	prev *Thread
 	runq []*Thread
 
-	// emitter is the core's reusable branch-batch sink; startSegment
-	// repoints it at the segment's thread so segments allocate nothing.
+	// emitter is the core's reusable branch-batch sink and runCtx the
+	// reusable exec context; startSegment repoints them at the segment's
+	// thread so segments allocate nothing. (Passing a stack RunContext
+	// through the Exec interface would escape it to the heap per segment.)
 	emitter branchEmitter
+	runCtx  RunContext
+
+	// segEndFn/dispatchFn are the core's cached timer callbacks, created
+	// once on first use: a core runs at most one segment and has at most
+	// one dispatch pending at a time, so the pending segment's state can
+	// live on the core (pendThread/pendRes) instead of in a fresh closure
+	// per segment — the scheduler's former dominant allocation.
+	segEndFn   func(now simtime.Time)
+	dispatchFn func(now simtime.Time)
+	pendThread *Thread
+	pendRes    RunResult
 
 	dispatchPending bool
 	lastSwitchAt    simtime.Time

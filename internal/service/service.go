@@ -98,20 +98,45 @@ type Result struct {
 	Summary metrics.Summary
 }
 
-// tier is runtime queue state.
+// tier is runtime queue state. The log-normal (mu, sigma) of the inflated
+// service-time distribution is precomputed once per run — the draw in
+// startService is bit-identical to recomputing them per visit.
 type tier struct {
 	spec  TierSpec
-	infl  float64
 	spike Overhead
+	mu    float64
+	sigma float64
 	busy  int
-	queue []func(now simtime.Time)
+	queue []*request
+	qhead int
 }
 
-// chain is one simulation instance.
+// request is one pooled in-flight request: its position along the chain's
+// static visit sequence, its reseedable private RNG stream, and a cached
+// completion callback so the hot path schedules service completions
+// without allocating a closure per visit.
+type request struct {
+	c          *chain
+	rng        *xrand.Rand
+	begin      simtime.Time
+	pos        int // index into chain.visitSeq: the tier being served or queued for
+	completeFn func(end simtime.Time)
+	issueFn    func(now simtime.Time) // closed loop only: reissue this client
+}
+
+// chain is one simulation instance. Because every tier makes a fixed
+// number of sequential downstream calls, the tiers a request visits form a
+// static sequence (visitSeq) shared by all requests; a request is just a
+// cursor into it. Service times are drawn from the request's own stream
+// (common random numbers): runs that differ only in tracing overhead see
+// identical baseline draws, so slowdown comparisons are paired.
 type chain struct {
-	eng   *simtime.Engine
-	seed  uint64
-	tiers []*tier
+	eng      *simtime.Engine
+	seed     uint64
+	tiers    []tier
+	visitSeq []int8
+	free     []*request
+	onDone   func(r *request, end simtime.Time)
 }
 
 func newChain(spec ChainSpec, ov []Overhead) *chain {
@@ -119,67 +144,107 @@ func newChain(spec ChainSpec, ov []Overhead) *chain {
 		eng:  simtime.NewEngine(),
 		seed: spec.Seed,
 	}
-	for _, ts := range spec.Tiers {
-		c.tiers = append(c.tiers, &tier{spec: ts, infl: 1})
+	infl := make([]float64, len(spec.Tiers))
+	for i, ts := range spec.Tiers {
+		c.tiers = append(c.tiers, tier{spec: ts})
+		infl[i] = 1
 	}
 	for _, o := range ov {
 		if o.Tier >= 0 && o.Tier < len(c.tiers) {
-			c.tiers[o.Tier].infl = 1 + o.Frac
+			infl[o.Tier] = 1 + o.Frac
 			c.tiers[o.Tier].spike = o
 		}
 	}
+	for i := range c.tiers {
+		t := &c.tiers[i]
+		t.mu, t.sigma = xrand.LogNormalParams(float64(t.spec.MeanService)*infl[i], t.spec.CV)
+	}
+	// Flatten the call tree of one request into the tier visit order:
+	// depth-first, each tier followed by CallsToNext copies of the next
+	// tier's subtree.
+	var walk func(i int)
+	walk = func(i int) {
+		c.visitSeq = append(c.visitSeq, int8(i))
+		if i+1 < len(c.tiers) {
+			for k := 0; k < c.tiers[i].spec.CallsToNext; k++ {
+				walk(i + 1)
+			}
+		}
+	}
+	walk(0)
 	return c
 }
 
-// serve queues one visit on a tier; done runs when service completes.
-// Service times are drawn from the request's own stream (common random
-// numbers): runs that differ only in tracing overhead see identical
-// baseline draws, so slowdown comparisons are paired.
-func (c *chain) serve(t *tier, rng *xrand.Rand, now simtime.Time, done func(now simtime.Time)) {
-	start := func(at simtime.Time) {
-		dur := simtime.Duration(rng.LogNormal(float64(t.spec.MeanService)*t.infl, t.spec.CV))
-		if dur < simtime.Microsecond {
-			dur = simtime.Microsecond
-		}
-		if t.spike.SpikeProb > 0 && rng.Bool(t.spike.SpikeProb) {
-			dur += t.spike.Spike
-		}
-		c.eng.ScheduleDetached(at+dur, func(end simtime.Time) {
-			t.busy--
-			if len(t.queue) > 0 {
-				next := t.queue[0]
-				t.queue = t.queue[1:]
-				t.busy++
-				next(end)
-			}
-			done(end)
-		})
+// alloc returns a pooled request, creating one (with its cached completion
+// closure) only when the pool is empty.
+func (c *chain) alloc() *request {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		return r
 	}
+	r := &request{c: c, rng: xrand.New(0)}
+	r.completeFn = r.complete
+	return r
+}
+
+// enter places the request at its current tier: service starts immediately
+// if a worker is free, otherwise the request joins the tier's FIFO queue.
+func (c *chain) enter(r *request, t *tier, now simtime.Time) {
 	if t.busy < t.spec.Workers {
 		t.busy++
-		start(now)
+		c.startService(r, t, now)
 		return
 	}
-	t.queue = append(t.queue, start)
+	t.queue = append(t.queue, r)
 }
 
-// visit runs a request through tier i and its downstream calls.
-func (c *chain) visit(i int, rng *xrand.Rand, now simtime.Time, done func(now simtime.Time)) {
-	t := c.tiers[i]
-	c.serve(t, rng, now, func(end simtime.Time) {
-		c.calls(i, rng, t.spec.CallsToNext, end, done)
-	})
+// startService draws the visit's service time from the request's stream
+// and schedules its completion. The caller has already taken a worker.
+func (c *chain) startService(r *request, t *tier, at simtime.Time) {
+	dur := simtime.Duration(r.rng.LogNormalMS(t.mu, t.sigma))
+	if dur < simtime.Microsecond {
+		dur = simtime.Microsecond
+	}
+	if t.spike.SpikeProb > 0 && r.rng.Bool(t.spike.SpikeProb) {
+		dur += t.spike.Spike
+	}
+	c.eng.ScheduleDetached(at+dur, r.completeFn)
 }
 
-// calls issues the remaining sequential downstream RPCs.
-func (c *chain) calls(i int, rng *xrand.Rand, remaining int, now simtime.Time, done func(now simtime.Time)) {
-	if i+1 >= len(c.tiers) || remaining <= 0 {
-		done(now)
+// complete finishes the request's current visit: release the worker, hand
+// it to the queue's head if any, then advance this request to its next
+// tier (or finish it). The queued request starts service before this one
+// advances, matching the tandem model's event order.
+func (r *request) complete(end simtime.Time) {
+	c := r.c
+	t := &c.tiers[c.visitSeq[r.pos]]
+	t.busy--
+	if t.qhead < len(t.queue) {
+		next := t.queue[t.qhead]
+		t.queue[t.qhead] = nil
+		t.qhead++
+		if t.qhead == len(t.queue) {
+			t.queue = t.queue[:0]
+			t.qhead = 0
+		}
+		t.busy++
+		c.startService(next, t, end)
+	}
+	r.pos++
+	if r.pos < len(c.visitSeq) {
+		c.enter(r, &c.tiers[c.visitSeq[r.pos]], end)
 		return
 	}
-	c.visit(i+1, rng, now, func(end simtime.Time) {
-		c.calls(i, rng, remaining-1, end, done)
-	})
+	c.onDone(r, end)
+}
+
+// launch (re)starts a pooled request as request number idx at time now.
+func (c *chain) launch(r *request, idx int, now simtime.Time) {
+	r.begin = now
+	r.pos = 0
+	r.rng.ReseedSplitN(c.seed, "service/req", idx)
+	c.enter(r, &c.tiers[c.visitSeq[0]], now)
 }
 
 // RunOpenLoop drives the chain with Poisson arrivals at ratePerSec for
@@ -190,23 +255,22 @@ func RunOpenLoop(spec ChainSpec, ratePerSec float64, dur simtime.Duration, ov []
 	res := Result{}
 	arr := xrand.Split(spec.Seed, "service/arrivals")
 	idx := 0
-	var schedule func(at simtime.Time)
-	schedule = func(at simtime.Time) {
-		if at >= dur {
-			return
-		}
-		c.eng.ScheduleDetached(at, func(now simtime.Time) {
-			begin := now
-			rng := xrand.SplitN(c.seed, "service/req", idx)
-			idx++
-			c.visit(0, rng, now, func(end simtime.Time) {
-				res.Completed++
-				res.RTms = append(res.RTms, (end - begin).Millis())
-			})
-			schedule(now + simtime.Duration(arr.Exp(1e9/ratePerSec)))
-		})
+	c.onDone = func(r *request, end simtime.Time) {
+		res.Completed++
+		res.RTms = append(res.RTms, (end - r.begin).Millis())
+		c.free = append(c.free, r)
 	}
-	schedule(simtime.Duration(arr.Exp(1e9 / ratePerSec)))
+	var arrive func(now simtime.Time)
+	arrive = func(now simtime.Time) {
+		c.launch(c.alloc(), idx, now)
+		idx++
+		if at := now + simtime.Duration(arr.Exp(1e9/ratePerSec)); at < dur {
+			c.eng.ScheduleDetached(at, arrive)
+		}
+	}
+	if at := simtime.Duration(arr.Exp(1e9 / ratePerSec)); at < dur {
+		c.eng.ScheduleDetached(at, arrive)
+	}
 	c.eng.RunUntil(dur * 5)
 	res.Dropped = int(c.inFlight())
 	res.ThroughputRPS = float64(res.Completed) / dur.Seconds()
@@ -221,23 +285,20 @@ func RunClosedLoop(spec ChainSpec, clients int, dur simtime.Duration, ov []Overh
 	c := newChain(spec, ov)
 	res := Result{}
 	idx := 0
-	var issue func(at simtime.Time)
-	issue = func(at simtime.Time) {
-		c.eng.ScheduleDetached(at, func(now simtime.Time) {
-			begin := now
-			rng := xrand.SplitN(c.seed, "service/req", idx)
-			idx++
-			c.visit(0, rng, now, func(end simtime.Time) {
-				if end < dur {
-					res.Completed++
-					res.RTms = append(res.RTms, (end - begin).Millis())
-					issue(end)
-				}
-			})
-		})
+	c.onDone = func(r *request, end simtime.Time) {
+		if end < dur {
+			res.Completed++
+			res.RTms = append(res.RTms, (end - r.begin).Millis())
+			c.eng.ScheduleDetached(end, r.issueFn)
+		}
 	}
 	for i := 0; i < clients; i++ {
-		issue(simtime.Duration(i) * simtime.Microsecond)
+		r := c.alloc()
+		r.issueFn = func(now simtime.Time) {
+			c.launch(r, idx, now)
+			idx++
+		}
+		c.eng.ScheduleDetached(simtime.Duration(i)*simtime.Microsecond, r.issueFn)
 	}
 	c.eng.RunUntil(dur)
 	res.ThroughputRPS = float64(res.Completed) / dur.Seconds()
@@ -248,8 +309,9 @@ func RunClosedLoop(spec ChainSpec, clients int, dur simtime.Duration, ov []Overh
 // inFlight counts visits queued or being served.
 func (c *chain) inFlight() int64 {
 	var n int64
-	for _, t := range c.tiers {
-		n += int64(t.busy) + int64(len(t.queue))
+	for i := range c.tiers {
+		t := &c.tiers[i]
+		n += int64(t.busy) + int64(len(t.queue)-t.qhead)
 	}
 	return n
 }

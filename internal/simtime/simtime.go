@@ -57,7 +57,7 @@ type Event struct {
 	at       Time
 	seq      uint64
 	fn       func(now Time)
-	index    int // heap index; -1 once fired or cancelled
+	index    int // queue position (see eventQueue); deadIndex once fired or cancelled
 	engine   *Engine
 	detached bool // recycled after firing; no handle exists outside the engine
 }
@@ -66,74 +66,106 @@ type Event struct {
 func (e *Event) At() Time { return e.at }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+func (e *Event) Pending() bool { return e != nil && e.index != deadIndex }
 
 // Cancel removes the event from its engine's queue. Cancelling an event that
 // already fired or was already cancelled is a no-op.
 func (e *Event) Cancel() {
-	if e == nil || e.index < 0 {
+	if e == nil || e.index == deadIndex {
 		return
 	}
-	e.engine.queue.remove(e.index)
+	e.engine.queue.remove(e)
 }
 
-// eventQueue is a monomorphic 4-ary min-heap of events ordered by
-// (at, seq). The seq tiebreak makes simultaneous events fire in scheduling
-// order, which keeps runs deterministic — and because (at, seq) is a total
-// order, the pop sequence is independent of the heap's internal layout, so
-// swapping container/heap's interface-dispatched binary heap for this
-// inlined concrete one cannot perturb a run. The 4-ary shape halves the
-// tree depth, trading slightly wider sift-down comparisons (which stay in
-// one or two cache lines of the slice) for fewer levels touched per
-// operation; no `any` boxing or Less/Swap dispatch remains on the path.
-type eventQueue []*Event
+// heapEntry is one slot of the event queue: the (at, seq) sort key stored
+// inline next to the event pointer, so ordering work reads sequential slice
+// memory instead of dereferencing events scattered across the heap's
+// allocations. Queue operations only touch an *Event to maintain its index
+// field when an entry actually moves — and only for handle-carrying
+// events: the entry's seq carries the engine sequence shifted left one
+// bit with the detached flag in bit 0 (order-preserving, since engine
+// sequences are unique), so the queue can tell without a dereference that
+// a detached event needs no index upkeep. Detached events cannot be
+// cancelled or inspected, and index is only read by Cancel/Pending, so
+// skipping the write avoids a cache-cold store per move for the bulk of
+// traffic.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-// before reports the (at, seq) ordering.
-func before(a, b *Event) bool {
+// entrySeq packs an event's sequence and detached flag into a queue key.
+func entrySeq(ev *Event) uint64 {
+	s := ev.seq << 1
+	if ev.detached {
+		s |= 1
+	}
+	return s
+}
+
+// deadIndex marks an event that fired or was cancelled. Live events carry
+// a non-negative heap position.
+const deadIndex = -1
+
+// setIndex records the heap position on handle-carrying events.
+func (e heapEntry) setIndex(i int) {
+	if e.seq&1 == 0 {
+		e.ev.index = i
+	}
+}
+
+// entryBefore reports the (at, seq) ordering.
+func entryBefore(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-// push inserts ev, maintaining the heap order and index fields.
-func (q *eventQueue) push(ev *Event) {
-	h := append(*q, ev)
-	i := len(h) - 1
+// eventHeap is a monomorphic 4-ary min-heap of entries ordered by
+// (at, seq). The 4-ary shape halves the tree depth versus binary, and the
+// inline keys keep each sift level's comparisons within two cache lines.
+type eventHeap []heapEntry
+
+// push inserts e, maintaining the heap order and index fields.
+func (h *eventHeap) push(e heapEntry) {
+	q := append(*h, e)
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
-		p := h[parent]
-		if !before(ev, p) {
+		p := q[parent]
+		if !entryBefore(e, p) {
 			break
 		}
-		h[i] = p
-		p.index = i
+		q[i] = p
+		p.setIndex(i)
 		i = parent
 	}
-	h[i] = ev
-	ev.index = i
-	*q = h
+	q[i] = e
+	e.setIndex(i)
+	*h = q
 }
 
 // popMin removes and returns the earliest event.
-func (q *eventQueue) popMin() *Event {
-	h := *q
-	top := h[0]
-	top.index = -1
-	n := len(h) - 1
-	last := h[n]
-	h[n] = nil
-	*q = h[:n]
+func (h *eventHeap) popMin() *Event {
+	q := *h
+	top := q[0].ev
+	top.index = deadIndex
+	n := len(q) - 1
+	last := q[n]
+	q[n] = heapEntry{}
+	*h = q[:n]
 	if n > 0 {
-		q.siftDown(last, 0)
+		h.siftDown(last, 0)
 	}
 	return top
 }
 
-// siftDown places ev at position i, moving smaller children up.
-func (q *eventQueue) siftDown(ev *Event, i int) {
-	h := *q
-	n := len(h)
+// siftDown places e at position i, moving smaller children up.
+func (h *eventHeap) siftDown(e heapEntry, i int) {
+	q := *h
+	n := len(q)
 	for {
 		child := i<<2 + 1
 		if child >= n {
@@ -145,55 +177,87 @@ func (q *eventQueue) siftDown(ev *Event, i int) {
 			end = n
 		}
 		for c := child + 1; c < end; c++ {
-			if before(h[c], h[mc]) {
+			if entryBefore(q[c], q[mc]) {
 				mc = c
 			}
 		}
-		if !before(h[mc], ev) {
+		if !entryBefore(q[mc], e) {
 			break
 		}
-		h[i] = h[mc]
-		h[i].index = i
+		q[i] = q[mc]
+		q[i].setIndex(i)
 		i = mc
 	}
-	h[i] = ev
-	ev.index = i
+	q[i] = e
+	e.setIndex(i)
 }
 
-// siftUp places ev at position i, moving larger parents down.
-func (q *eventQueue) siftUp(ev *Event, i int) {
-	h := *q
+// siftUp places e at position i, moving larger parents down.
+func (h *eventHeap) siftUp(e heapEntry, i int) {
+	q := *h
 	for i > 0 {
 		parent := (i - 1) >> 2
-		p := h[parent]
-		if !before(ev, p) {
+		p := q[parent]
+		if !entryBefore(e, p) {
 			break
 		}
-		h[i] = p
-		p.index = i
+		q[i] = p
+		p.setIndex(i)
 		i = parent
 	}
-	h[i] = ev
-	ev.index = i
+	q[i] = e
+	e.setIndex(i)
 }
 
-// remove deletes the event at heap position i.
-func (q *eventQueue) remove(i int) {
-	h := *q
-	h[i].index = -1
-	n := len(h) - 1
-	last := h[n]
-	h[n] = nil
-	*q = h[:n]
+// remove deletes the entry at heap position i.
+func (h *eventHeap) remove(i int) {
+	q := *h
+	q[i].ev.index = deadIndex
+	n := len(q) - 1
+	last := q[n]
+	q[n] = heapEntry{}
+	*h = q[:n]
 	if i == n {
 		return
 	}
-	// Re-place the displaced tail element: it may need to move either way.
-	q.siftUp(last, i)
-	if last.index == i {
-		q.siftDown(last, i)
+	// Re-place the displaced tail element: it moves up when it beats the
+	// parent of the vacated slot, down otherwise.
+	if i > 0 && entryBefore(last, q[(i-1)>>2]) {
+		h.siftUp(last, i)
+	} else {
+		h.siftDown(last, i)
 	}
 }
+
+// eventQueue is the engine's priority queue of events ordered by
+// (at, seq): a single 4-ary min-heap. The seq tiebreak makes simultaneous
+// events fire in scheduling order, which keeps runs deterministic — and
+// because (at, seq) is a total order, the pop sequence is independent of
+// the heap's internal layout, so changing its shape or storage cannot
+// perturb a run. (A two-band near/far variant with batch refill was
+// measured and lost to the plain heap on every workload here: the queues
+// stay small enough that selection scans cost more than deep sifts save.)
+type eventQueue struct {
+	heap eventHeap
+}
+
+// Len returns the number of pending events.
+func (q *eventQueue) Len() int { return len(q.heap) }
+
+// push inserts ev.
+func (q *eventQueue) push(ev *Event) {
+	q.heap.push(heapEntry{at: ev.at, seq: entrySeq(ev), ev: ev})
+}
+
+// peek returns the key of the earliest event. It must not be called on an
+// empty queue.
+func (q *eventQueue) peek() heapEntry { return q.heap[0] }
+
+// popMin removes and returns the earliest event.
+func (q *eventQueue) popMin() *Event { return q.heap.popMin() }
+
+// remove deletes a pending event.
+func (q *eventQueue) remove(ev *Event) { q.heap.remove(ev.index) }
 
 // Engine is a discrete-event simulation engine: a virtual clock plus a queue
 // of timed callbacks. The zero value is ready to use and starts at time 0.
@@ -211,7 +275,7 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Len returns the number of pending events.
-func (e *Engine) Len() int { return len(e.queue) }
+func (e *Engine) Len() int { return e.queue.Len() }
 
 // Schedule queues fn to run at the absolute virtual time at. Scheduling in
 // the past (at < Now) panics: the simulated past is immutable, and silently
@@ -265,7 +329,7 @@ func (e *Engine) AfterDetached(d Duration, fn func(now Time)) {
 // Step fires the earliest pending event, advancing the clock to its time.
 // It returns false if no events are pending.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.Len() == 0 {
 		return false
 	}
 	ev := e.queue.popMin()
@@ -284,16 +348,16 @@ func (e *Engine) Step() bool {
 // PeekTime returns the time of the earliest pending event, or ok=false when
 // the queue is empty.
 func (e *Engine) PeekTime() (t Time, ok bool) {
-	if len(e.queue) == 0 {
+	if e.queue.Len() == 0 {
 		return 0, false
 	}
-	return e.queue[0].at, true
+	return e.queue.peek().at, true
 }
 
 // RunUntil fires events in order until the queue is empty or the next event
 // is after deadline, then advances the clock to deadline.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for e.queue.Len() > 0 && e.queue.peek().at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {

@@ -9,51 +9,142 @@
 package xrand
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
 )
 
 // Rand is a deterministic random stream. It wraps the stdlib PCG generator
-// with the distribution helpers the simulators need.
+// with the distribution helpers the simulators need. The underlying PCG is
+// kept alongside the *rand.Rand so a stream can be reseeded in place (see
+// Reseed): neither rand.Rand nor the distribution methods used here carry
+// state beyond the source, so reseeding the PCG fully resets the stream.
 type Rand struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a stream seeded with seed.
 func New(seed uint64) *Rand {
-	return &Rand{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Rand{src: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the stream in place to the exact state New(seed) would
+// produce, without allocating. Hot paths that cycle one pooled Rand through
+// many per-entity streams (one request after another) use this instead of
+// constructing a fresh Rand per entity.
+func (r *Rand) Reseed(seed uint64) {
+	r.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// fnv-64a parameters, matching hash/fnv.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds the eight little-endian bytes of v into an fnv-64a hash.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvString folds a string into an fnv-64a hash.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// splitSeed is the derivation behind Split: fnv-64a over the parent seed's
+// little-endian bytes followed by the label.
+func splitSeed(seed uint64, label string) uint64 {
+	return fnvString(fnvUint64(fnvOffset64, seed), label)
+}
+
+// splitSeedN is the derivation behind SplitN: splitSeed extended with the
+// index's little-endian bytes.
+func splitSeedN(seed uint64, label string, n int) uint64 {
+	return fnvUint64(splitSeed(seed, label), uint64(n))
 }
 
 // Split derives an independent child stream from seed and a label. Streams
 // derived with different labels are statistically independent, and the
 // derivation is stable across runs.
 func Split(seed uint64, label string) *Rand {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(seed >> (8 * i))
-	}
-	h.Write(b[:])
-	h.Write([]byte(label))
-	return New(h.Sum64())
+	return New(splitSeed(seed, label))
 }
 
 // SplitN derives an independent child stream from seed, a label, and an
 // index, for per-entity streams (per core, per thread, per node, ...).
 func SplitN(seed uint64, label string, n int) *Rand {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(seed >> (8 * i))
+	return New(splitSeedN(seed, label, n))
+}
+
+// ReseedSplitN resets the stream in place to the exact state
+// SplitN(seed, label, n) would produce, without allocating.
+func (r *Rand) ReseedSplitN(seed uint64, label string, n int) {
+	r.Reseed(splitSeedN(seed, label, n))
+}
+
+// SplitHash is an incrementally built Split label hash. It lets a caller
+// that would otherwise concatenate strings into a Split label ("a/"+b+
+// "#"+strconv.Itoa(n)) hash the pieces in place instead: appending the
+// same bytes piecewise yields the same derived seed as hashing the
+// concatenated label, so BeginSplit(...).String(...).Int(...) is the
+// allocation-free twin of Split(seed, label).
+type SplitHash uint64
+
+// BeginSplit starts a label hash over the parent seed, equivalent to
+// Split's derivation before any label bytes.
+func BeginSplit(seed uint64) SplitHash {
+	return SplitHash(fnvUint64(fnvOffset64, seed))
+}
+
+// String folds label bytes into the hash.
+func (h SplitHash) String(s string) SplitHash {
+	return SplitHash(fnvString(uint64(h), s))
+}
+
+// Int folds the decimal representation of n into the hash — the same
+// bytes fmt.Sprintf("%d", n) would contribute to a concatenated label.
+func (h SplitHash) Int(n int64) SplitHash {
+	var buf [20]byte
+	i := len(buf)
+	u := uint64(n)
+	neg := n < 0
+	if neg {
+		u = uint64(-n)
 	}
-	h.Write(b[:])
-	h.Write([]byte(label))
-	for i := 0; i < 8; i++ {
-		b[i] = byte(uint64(n) >> (8 * i))
+	for {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
 	}
-	h.Write(b[:])
-	return New(h.Sum64())
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	g := uint64(h)
+	for ; i < len(buf); i++ {
+		g ^= uint64(buf[i])
+		g *= fnvPrime64
+	}
+	return SplitHash(g)
+}
+
+// ReseedSplit resets the stream in place to the state Split would produce
+// for the label accumulated in h.
+func (r *Rand) ReseedSplit(h SplitHash) {
+	r.Reseed(uint64(h))
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
@@ -93,6 +184,22 @@ func (r *Rand) LogNormal(mean, cv float64) float64 {
 	sigma2 := math.Log(1 + cv*cv)
 	mu := math.Log(mean) - sigma2/2
 	return math.Exp(r.src.NormFloat64()*math.Sqrt(sigma2) + mu)
+}
+
+// LogNormalParams converts a (mean, cv) log-normal parameterization to the
+// underlying (mu, sigma), producing bit-identical draws when the result is
+// fed to LogNormalMS: the two functions together are the precomputed form
+// of LogNormal for hot paths that draw from a fixed distribution many
+// times. mean must be positive.
+func LogNormalParams(mean, cv float64) (mu, sigma float64) {
+	sigma2 := math.Log(1 + cv*cv)
+	return math.Log(mean) - sigma2/2, math.Sqrt(sigma2)
+}
+
+// LogNormalMS returns a log-normally distributed value from precomputed
+// (mu, sigma); see LogNormalParams.
+func (r *Rand) LogNormalMS(mu, sigma float64) float64 {
+	return math.Exp(r.src.NormFloat64()*sigma + mu)
 }
 
 // Pareto returns a bounded Pareto-distributed value with minimum xm and
