@@ -3,8 +3,10 @@
 //
 // Usage:
 //
-//	existbench -list                 # show available experiment IDs
+//	existbench -list                 # show experiment IDs and bundled scenarios
 //	existbench -run fig13,tab04      # run specific experiments
+//	existbench -spec traffic.yaml    # run a scenario spec document end to end
+//	existbench -spec diurnal         # run a bundled scenario by name
 //	existbench -all                  # run everything
 //	existbench -all -quick           # reduced durations (CI-sized)
 //	existbench -all -jobs 8          # run experiments on 8 workers
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -33,14 +36,16 @@ import (
 	"exist/internal/experiments"
 	"exist/internal/hotbench"
 	"exist/internal/parallel"
+	"exist/internal/spec"
 	"exist/internal/trace"
 )
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		list       = flag.Bool("list", false, "list experiment IDs and bundled scenarios, then exit")
 		run        = flag.String("run", "", "comma-separated experiment IDs to run")
 		all        = flag.Bool("all", false, "run every experiment")
+		specFile   = flag.String("spec", "", "run a scenario spec document (JSON or YAML) end to end")
 		quick      = flag.Bool("quick", false, "reduced durations and sweep sizes")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		jobs       = flag.Int("jobs", 0, "worker count for experiment and sweep fan-out (0: GOMAXPROCS, 1: serial)")
@@ -66,6 +71,24 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 			fmt.Printf("%-16s paper: %s\n", "", e.Paper)
+		}
+		fmt.Println()
+		fmt.Println("bundled scenarios (run the scenario experiment, or any one with -spec):")
+		for _, name := range spec.BuiltinNames() {
+			doc, err := spec.LoadBuiltin(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "existbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s %s\n", name, doc.Desc)
+		}
+		return
+	}
+
+	if *specFile != "" {
+		if err := runSpecFile(*specFile, experiments.Config{Quick: *quick, Seed: *seed, Jobs: *jobs}); err != nil {
+			fmt.Fprintln(os.Stderr, "existbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -152,6 +175,54 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runSpecFile loads a scenario document — a file path, or the name of a
+// bundled scenario — and runs it end to end through the same pipeline as
+// the scenario experiment. Replay traces resolve relative to the document.
+func runSpecFile(path string, cfg experiments.Config) error {
+	var doc *spec.Document
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		doc, err = spec.Parse(path, data)
+		if err != nil {
+			return err
+		}
+		if err := doc.ResolveReplay(func(p string) ([]byte, error) {
+			return os.ReadFile(filepath.Join(filepath.Dir(path), p))
+		}); err != nil {
+			return err
+		}
+	case os.IsNotExist(err):
+		doc, err = spec.LoadBuiltin(path)
+		if err != nil {
+			return fmt.Errorf("no file %q and no bundled scenario by that name", path)
+		}
+	default:
+		return err
+	}
+	res, err := experiments.RunSpec(cfg, doc)
+	if err != nil {
+		return err
+	}
+	name := doc.Name
+	if name == "" {
+		name = doc.Src
+	}
+	fmt.Printf("### spec — %s\n", name)
+	if doc.Desc != "" {
+		fmt.Printf("### %s\n", doc.Desc)
+	}
+	fmt.Println()
+	fmt.Print(res.Render())
+	if len(res.Metrics) > 0 {
+		fmt.Println("headline metrics:")
+		for _, n := range res.SortedMetrics() {
+			fmt.Printf("  %-36s %.4g\n", n, res.Metrics[n])
+		}
+	}
+	return nil
 }
 
 // selectIDs resolves the -all/-run selection into a validated, deduplicated

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	existd -app Search1 -period 500ms -cores 16 -budget-mb 500
+//	existd -spec traffic.yaml -period 500ms
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"exist/internal/memalloc"
 	"exist/internal/node"
 	"exist/internal/simtime"
+	"exist/internal/spec"
 	"exist/internal/trace"
 	"exist/internal/tracer"
 	"exist/internal/workload"
@@ -32,6 +34,7 @@ import (
 func main() {
 	var (
 		appName  = flag.String("app", "Search1", "workload profile to trace (see -list)")
+		specFile = flag.String("spec", "", "scenario spec document: trace its app on its node placement (overrides -app/-cores)")
 		list     = flag.Bool("list", false, "list workload profiles and exit")
 		period   = flag.Duration("period", 500*time.Millisecond, "tracing period (0.1s-2s)")
 		cores    = flag.Int("cores", 16, "node core count")
@@ -62,18 +65,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	coRunners := []node.CoRunner{{Profile: filler, SeedOffset: 1}}
+	nodeCores, nodeSeed, threads := *cores, *seed, 0
+	if *specFile != "" {
+		app, placed, err := loadSpecPlacement(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spec:", err)
+			os.Exit(2)
+		}
+		p = app
+		coRunners = placed.CoRunners
+		if placed.Cores > 0 {
+			nodeCores = placed.Cores
+		}
+		if placed.Seed != 0 {
+			nodeSeed = placed.Seed
+		}
+		threads = placed.Threads
+	}
 
-	prog := node.Program(p, *seed)
+	prog := node.Program(p, nodeSeed)
 	rt := node.Provision(node.Spec{
-		Cores:     *cores,
+		Cores:     nodeCores,
 		HT:        true,
-		Seed:      *seed,
+		Seed:      nodeSeed,
+		Threads:   threads,
 		Timeslice: 1 * simtime.Millisecond,
 		Workload:  p,
 		Walker:    true,
 		Scale:     trace.SpaceScale,
 		Prog:      prog,
-		CoRunners: []node.CoRunner{{Profile: filler, SeedOffset: 1}},
+		CoRunners: coRunners,
 		Warmup:    100 * simtime.Millisecond,
 		Dur:       simtime.Duration(period.Nanoseconds()),
 		Drain:     10 * simtime.Millisecond,
@@ -87,7 +109,7 @@ func main() {
 	m := rt.Machine
 
 	fmt.Printf("existd: node with %d cores; tracing %s (%s, %d threads, %s) for %v\n",
-		*cores, p.Name, p.Desc, p.Threads, rt.Proc.Mode, *period)
+		nodeCores, p.Name, p.Desc, p.Threads, rt.Proc.Mode, *period)
 
 	// Warm up, then open the session (EXIST is triggered on demand).
 	if err := rt.Attach(); err != nil {
@@ -127,7 +149,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("existd: session written to %s (decode with: existdecode -app %s -seed %d -in %s)\n",
-			*dump, p.Name, *seed, *dump)
+			*dump, p.Name, nodeSeed, *dump)
 	}
 
 	rec := decode.Decode(result, prog)
@@ -151,14 +173,69 @@ func main() {
 		fmt.Printf("  %6d  %s\n", fc.n, fc.name)
 	}
 
+	grayReport(*grayDelay, *leaseTTL, nodeSeed)
+}
+
+// loadSpecPlacement reads a scenario document (file path or bundled
+// scenario name), compiles its profiles against the built-in table and
+// returns the traced app plus the node spec its placement lowers to.
+func loadSpecPlacement(path string) (workload.Profile, node.Spec, error) {
+	var doc *spec.Document
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if doc, err = spec.Parse(path, data); err != nil {
+			return workload.Profile{}, node.Spec{}, err
+		}
+	case os.IsNotExist(err):
+		if doc, err = spec.LoadBuiltin(path); err != nil {
+			return workload.Profile{}, node.Spec{}, fmt.Errorf("no file %q and no bundled scenario by that name", path)
+		}
+	default:
+		return workload.Profile{}, node.Spec{}, err
+	}
+	if doc.Scenario == nil || doc.Scenario.App == "" {
+		return workload.Profile{}, node.Spec{}, fmt.Errorf("%s: document needs a scenario with an app to trace", doc.Src)
+	}
+	ctx := map[string]workload.Profile{}
+	for _, p := range workload.All() {
+		ctx[p.Name] = p
+	}
+	compiled, err := workload.CompileProfiles(doc, ctx)
+	if err != nil {
+		return workload.Profile{}, node.Spec{}, err
+	}
+	byName := map[string]workload.Profile{}
+	for _, p := range compiled {
+		byName[p.Name] = p
+	}
+	lookup := func(name string) (workload.Profile, error) {
+		if p, ok := byName[name]; ok {
+			return p, nil
+		}
+		return workload.ByName(name)
+	}
+	app, err := lookup(doc.Scenario.App)
+	if err != nil {
+		return workload.Profile{}, node.Spec{}, err
+	}
+	ns, err := node.SpecFromPlacement(doc.Scenario.Node, app, lookup)
+	if err != nil {
+		return workload.Profile{}, node.Spec{}, err
+	}
+	return app, ns, nil
+}
+
+// grayReport prints the gray-failure view when enabled.
+func grayReport(grayDelay, leaseTTL time.Duration, seed uint64) {
 	// Gray-failure report: the daemon-side view of a slow-but-alive
 	// node. Replay the seeded heartbeat-delay schedule this node would
 	// suffer and score it against a controller lease TTL — every
 	// heartbeat arriving after its lease lapsed is a false suspicion
 	// (the controller re-samples sessions from a node that never died).
-	if *grayDelay > 0 {
+	if grayDelay > 0 {
 		in := faults.New(faults.Config{
-			Seed:          *seed,
+			Seed:          seed,
 			GrayNodeProb:  1,
 			GrayDelayMean: simtime.Duration(grayDelay.Nanoseconds()),
 		})
@@ -176,7 +253,7 @@ func main() {
 			}
 		}
 		st := in.Stats()
-		fmt.Printf("existd: gray-failure report (mean delay %v, lease TTL %v):\n", *grayDelay, *leaseTTL)
+		fmt.Printf("existd: gray-failure report (mean delay %v, lease TTL %v):\n", grayDelay, leaseTTL)
 		fmt.Printf("  %d/%d heartbeats delayed, max delay %v\n", st.GrayDelays, int64(beats), maxDelay)
 		fmt.Printf("  %d would arrive after lease lapse: false suspicions (node alive, controller re-samples)\n", lapses)
 	}

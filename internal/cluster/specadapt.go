@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"exist/internal/faults"
+	"exist/internal/simtime"
+	"exist/internal/spec"
+)
+
+// ConfigFromSpec maps a scenario's cluster and fault sections onto a
+// cluster Config. Zero spec fields keep DefaultConfig's values, and a nil
+// faults section attaches no injector, keeping every fault path dormant.
+// seed is the consumer's run seed; the spec's fault seed is folded in so
+// a document pins its fault schedule independently of the run.
+func ConfigFromSpec(c *spec.Cluster, f *spec.Faults, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	if c != nil {
+		if c.Nodes > 0 {
+			cfg.Nodes = c.Nodes
+		}
+		if c.CoresPerNode > 0 {
+			cfg.CoresPerNode = c.CoresPerNode
+		}
+		if c.Replicas > 0 {
+			cfg.Replicas = c.Replicas
+		}
+	}
+	if f != nil {
+		cfg.Faults = faults.New(faults.Config{
+			Seed:            seed ^ f.Seed,
+			PutFailProb:     f.PutFail,
+			InsertFailProb:  f.InsertFail,
+			SessionLossProb: f.SessionLoss,
+			CorruptProb:     f.Corrupt,
+			TruncateProb:    f.Truncate,
+			StallProb:       f.Stall,
+			CrashMTBF:       secs(f.CrashMTBFS),
+			CrashDowntime:   secs(f.CrashDowntimeS),
+		})
+	}
+	return cfg
+}
+
+func secs(s float64) simtime.Duration {
+	return simtime.Duration(s * float64(simtime.Second))
+}

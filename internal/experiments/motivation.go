@@ -9,7 +9,6 @@ import (
 	"exist/internal/service"
 	"exist/internal/simtime"
 	"exist/internal/tabular"
-	"exist/internal/workload"
 )
 
 func init() {
@@ -46,16 +45,11 @@ func init() {
 }
 
 func runFig03a(cfg Config) (*Result, error) {
-	a, err := workload.ByName("om")
-	if err != nil {
-		return nil, err
-	}
-	b, err := workload.ByName("xz")
+	a, ns, err := figureSpec("fig03a")
 	if err != nil {
 		return nil, err
 	}
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
-	cores := []int{0, 1, 2, 3}
 
 	type setting struct {
 		name   string
@@ -64,9 +58,10 @@ func runFig03a(cfg Config) (*Result, error) {
 	// measure runs A (optionally sharing cores with B) under a scheme and
 	// returns both processes' cycle counts.
 	measureAB := func(scheme SchemeKind, shared bool) (aCyc, bCyc int64, err error) {
-		spec := node.Spec{Cores: 8, Dur: dur, TargetCores: cores, Seed: 301, Threads: 4}
-		if shared {
-			spec.CoRunners = coRunners([]workload.Profile{b}, [][]int{cores})
+		spec := ns
+		spec.Dur = dur
+		if !shared {
+			spec.CoRunners = nil
 		}
 		r, err := measure(cfg, a, scheme, spec)
 		if err != nil {
@@ -208,19 +203,20 @@ func avgSummariesRate(cfg Config, rate float64, dur simtime.Duration, reps int, 
 }
 
 func runFig04(cfg Config) (*Result, error) {
-	a, _ := workload.ByName("om")
-	b, _ := workload.ByName("xz")
-	c, _ := workload.ByName("ms")
+	a, ns, err := figureSpec("fig04")
+	if err != nil {
+		return nil, err
+	}
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
-	cores := []int{0, 1, 2, 3}
 
+	// The document declares the full antagonist stack; rows take prefixes.
 	scenarios := []struct {
 		name string
-		cos  []workload.Profile
+		cos  int
 	}{
-		{"Exclusive A", nil},
-		{"Shared A with B", []workload.Profile{b}},
-		{"Shared A with B and C", []workload.Profile{b, c}},
+		{"Exclusive A", 0},
+		{"Shared A with B", 1},
+		{"Shared A with B and C", 2},
 	}
 	res := &Result{ID: "fig04"}
 	t := &tabular.Table{
@@ -231,18 +227,15 @@ func runFig04(cfg Config) (*Result, error) {
 	var prevSwitches int64
 	for _, sc := range scenarios {
 		for _, scheme := range []SchemeKind{SchemeOracle, SchemeNHT} {
-			spec := node.Spec{Cores: 8, Dur: dur, TargetCores: cores, Seed: 401, Threads: 4}
-			var coCores [][]int
-			for range sc.cos {
-				coCores = append(coCores, cores)
-			}
-			spec.CoRunners = coRunners(sc.cos, coCores)
+			spec := ns
+			spec.Dur = dur
+			spec.CoRunners = ns.CoRunners[:sc.cos]
 			r, err := measure(cfg, a, scheme, spec)
 			if err != nil {
 				return nil, err
 			}
 			m := r.Machine
-			interference := 1.0 + 0.15*float64(len(sc.cos))
+			interference := 1.0 + 0.15*float64(sc.cos)
 			hw := a.ComputeHWEvents(r.Stats.Insns, interference, scheme == SchemeNHT, m.Cfg.Cost)
 			label := "w/o"
 			if scheme == SchemeNHT {
@@ -266,8 +259,10 @@ func runFig04(cfg Config) (*Result, error) {
 }
 
 func runFig05(cfg Config) (*Result, error) {
-	ms, _ := workload.ByName("ms")
-	co, _ := workload.ByName("om")
+	ms, ns, err := figureSpec("fig05")
+	if err != nil {
+		return nil, err
+	}
 	dur := durQuick(cfg, 500*simtime.Millisecond, 2*simtime.Second)
 
 	type arrangement struct {
@@ -276,7 +271,7 @@ func runFig05(cfg Config) (*Result, error) {
 		ht      bool
 		coCores []int
 	}
-	target := []int{0, 1, 2, 3}
+	target := ns.TargetCores
 	arrangements := []arrangement{
 		{"Exclusive", cpu.ShareNone, false, nil},
 		{"Share HT", cpu.ShareHT, true, []int{8, 9, 10, 11}}, // HT siblings of 0-3 on a 16-core HT machine
@@ -290,9 +285,18 @@ func runFig05(cfg Config) (*Result, error) {
 	}
 	var exclusiveBase int64
 	for _, ar := range arrangements {
-		spec := node.Spec{Cores: 16, HT: ar.ht, Dur: dur, TargetCores: target, Seed: 501, Threads: 4}
+		// The document declares the antagonist; each row re-pins it to the
+		// resource under test (HT siblings, the app's cores, or LLC-only
+		// neighbors) or drops it for the exclusive baseline.
+		spec := ns
+		spec.Dur = dur
+		spec.HT = ar.ht
 		if ar.coCores != nil {
-			spec.CoRunners = coRunners([]workload.Profile{co}, [][]int{ar.coCores})
+			co := ns.CoRunners[0]
+			co.Cores = ar.coCores
+			spec.CoRunners = []node.CoRunner{co}
+		} else {
+			spec.CoRunners = nil
 		}
 		base, err := measure(cfg, ms, SchemeOracle, spec)
 		if err != nil {
@@ -318,14 +322,13 @@ func runFig05(cfg Config) (*Result, error) {
 }
 
 func runFig08(cfg Config) (*Result, error) {
-	mc, _ := workload.ByName("mc")
-	ms, _ := workload.ByName("ms")
-	dur := durQuick(cfg, 1*simtime.Second, 5*simtime.Second)
-	spec := node.Spec{
-		Cores: 8, Dur: dur, Seed: 801,
-		CoRunners:            coRunners([]workload.Profile{ms}, nil),
-		CollectSwitchPeriods: true,
+	mc, ns, err := figureSpec("fig08")
+	if err != nil {
+		return nil, err
 	}
+	dur := durQuick(cfg, 1*simtime.Second, 5*simtime.Second)
+	spec := ns
+	spec.Dur = dur
 	r, err := measure(cfg, mc, SchemeOracle, spec)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"exist/internal/spec"
+)
+
+// TestScenarioDeterminismGrid pins the scenario experiment's contract:
+// the bundled documents — generated diurnal traffic, a flash crowd with
+// cluster fault injection, and a replayed CSV trace — must render
+// byte-identically with exactly equal metrics for every combination of
+// jobs and GOMAXPROCS. Scenario compilation keys all randomness off the
+// document and seed, never off scheduling.
+func TestScenarioDeterminismGrid(t *testing.T) {
+	e, err := ByID("scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(jobs, procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := e.Run(Config{Quick: true, Seed: 1, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d procs=%d: %v", jobs, procs, err)
+		}
+		return res
+	}
+	ref := runWith(1, 1)
+	for _, tc := range []struct{ jobs, procs int }{
+		{1, 4}, {4, 1}, {4, 4},
+	} {
+		t.Run(fmt.Sprintf("jobs=%d,procs=%d", tc.jobs, tc.procs), func(t *testing.T) {
+			got := runWith(tc.jobs, tc.procs)
+			if got.Render() != ref.Render() {
+				t.Errorf("rendered output differs from jobs=1,procs=1:\n--- ref ---\n%s\n--- got ---\n%s",
+					ref.Render(), got.Render())
+			}
+			if len(got.Metrics) != len(ref.Metrics) {
+				t.Fatalf("metric count %d, want %d", len(got.Metrics), len(ref.Metrics))
+			}
+			for name, want := range ref.Metrics {
+				if v, ok := got.Metrics[name]; !ok || v != want {
+					t.Errorf("metric %s: got %v, want exactly %v", name, v, want)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioCoversAllPhases checks the bundled runs actually exercise
+// every phase the DSL declares: traffic everywhere, cluster coverage for
+// the documents with a cluster section, replay arrivals for the trace.
+func TestScenarioCoversAllPhases(t *testing.T) {
+	e, err := ByID("scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Config{Quick: true, Seed: 1, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{
+		"diurnal_arrivals", "diurnal_availability", "diurnal_coverage", "diurnal_slo_web",
+		"flash-crowd_arrivals", "flash-crowd_coverage", "flash-crowd_slo_api",
+		"replay_arrivals", "replay_availability",
+	} {
+		if _, ok := res.Metrics[m]; !ok {
+			t.Errorf("missing metric %s", m)
+		}
+	}
+	if got := res.Metrics["replay_arrivals"]; got != 242 {
+		t.Errorf("replay_arrivals = %v, want the bundled trace's 242 rows", got)
+	}
+	if got := res.Metrics["diurnal_availability"]; got <= 0 {
+		t.Errorf("diurnal_availability = %v, want > 0", got)
+	}
+}
+
+// TestRunSpecUserDocument drives RunSpec with an in-memory user document
+// the way existbench -spec does, including a scenario-defined profile
+// derived from a built-in base.
+func TestRunSpecUserDocument(t *testing.T) {
+	const userSpec = `
+version: 1
+name: user-test
+seed: 9
+profiles:
+  - name: hotcache
+    base: mc
+    desc: cache variant with more threads
+    threads: 6
+scenario:
+  duration_s: 3
+  aggregate_rate: 8000
+  app: hotcache
+  clients:
+    - id: rt
+      rate_fraction: 1.0
+      slo_class: latency
+      slo_ms: 50
+      arrival: {process: poisson}
+  node:
+    cores: 8
+    seed: 5
+`
+	doc, err := spec.Parse("user-test.yaml", []byte(userSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSpec(Config{Quick: true, Seed: 1, Jobs: 2}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "user-test") {
+		t.Errorf("rendered output does not name the document:\n%s", out)
+	}
+	if _, ok := res.Metrics["user-test_slo_rt"]; !ok {
+		t.Errorf("missing SLO metric for scenario-defined client; have %v", res.SortedMetrics())
+	}
+	// Same document, same seed: byte-identical output.
+	res2, err := RunSpec(Config{Quick: true, Seed: 1, Jobs: 4}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Render() != out {
+		t.Error("RunSpec output differs between jobs=2 and jobs=4")
+	}
+}
+
+// TestRunSpecProfileOnly renders compiled profiles for documents without
+// a scenario section.
+func TestRunSpecProfileOnly(t *testing.T) {
+	doc, err := spec.Parse("profiles.yaml", []byte(`
+version: 1
+profiles:
+  - name: tweaked
+    base: pb
+    desc: protobuf variant
+    threads: 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSpec(Config{Quick: true, Seed: 1}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := res.Render(); !strings.Contains(out, "tweaked") {
+		t.Errorf("profile table missing compiled profile:\n%s", out)
+	}
+}

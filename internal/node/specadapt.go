@@ -1,0 +1,39 @@
+package node
+
+import (
+	"fmt"
+
+	"exist/internal/spec"
+	"exist/internal/workload"
+)
+
+// SpecFromPlacement compiles a scenario placement (the DSL's `node`
+// section) into a node Spec. The app profile is resolved by the caller
+// (it may be scenario-defined rather than built-in); co-runner profiles
+// are resolved through lookup, typically workload.ByName or a map over
+// the document's compiled profiles. Zero placement fields keep the Spec
+// zero values, so the node defaults noted on Spec still apply.
+func SpecFromPlacement(p *spec.Placement, app workload.Profile, lookup func(string) (workload.Profile, error)) (Spec, error) {
+	s := Spec{Workload: app}
+	if p == nil {
+		return s, nil
+	}
+	s.Cores = p.Cores
+	s.HT = p.HT
+	s.Threads = p.Threads
+	s.TargetCores = p.TargetCores
+	s.Seed = p.Seed
+	s.CollectSwitchPeriods = p.CollectSwitchPeriods
+	for _, co := range p.CoRunners {
+		prof, err := lookup(co.Profile)
+		if err != nil {
+			return Spec{}, fmt.Errorf("node: co-runner %q: %w", co.Profile, err)
+		}
+		s.CoRunners = append(s.CoRunners, CoRunner{
+			Profile:    prof,
+			Cores:      co.Cores,
+			SeedOffset: co.SeedOffset,
+		})
+	}
+	return s, nil
+}

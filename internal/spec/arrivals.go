@@ -1,0 +1,258 @@
+package spec
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"exist/internal/simtime"
+	"exist/internal/xrand"
+)
+
+// ArrivalEvent is one compiled request arrival.
+type ArrivalEvent struct {
+	// At is the arrival time from scenario start.
+	At simtime.Time
+	// Client indexes Scenario.Clients.
+	Client int
+}
+
+// maxArrivals bounds a compiled schedule; documents requesting more are
+// configuration errors (and fuzz inputs shouldn't allocate unbounded).
+const maxArrivals = 2_000_000
+
+// Dur returns the scenario window as a simtime duration.
+func (sc *Scenario) Dur() simtime.Duration {
+	return simtime.Duration(sc.DurationS * float64(simtime.Second))
+}
+
+// Arrivals compiles the scenario into its deterministic arrival schedule.
+// Every client draws inter-arrival gaps from its own xrand stream keyed by
+// seed and the client id — never run order or wall clock — and the merged
+// schedule is ordered by (time, client index), so the result is identical
+// at any parallelism. rateScale maps the cluster-wide aggregate rate onto
+// the consumer's capacity (e.g. 1/service.DeploymentWidth for one
+// simulated instance); replayed traces are returned as recorded.
+func (sc *Scenario) Arrivals(seed uint64, rateScale float64) ([]ArrivalEvent, error) {
+	if sc.Replay != nil {
+		return sc.replayArrivals()
+	}
+	dur := sc.DurationS
+	peak := sc.Envelope.peak(dur)
+	var out []ArrivalEvent
+	for ci, c := range sc.Clients {
+		rate := sc.AggregateRate * c.RateFraction * rateScale
+		if rate <= 0 {
+			continue
+		}
+		rng := xrand.Split(seed, "spec/arrivals/"+c.ID)
+		meanGap := 1 / (rate * peak) // seconds, at the envelope's peak rate
+		if float64(len(out))+dur/meanGap > maxArrivals {
+			return nil, errf(sc.srcName(), c.Line, "scenario.clients."+c.ID,
+				"schedule exceeds %d arrivals; lower the rate or shorten the scenario", maxArrivals)
+		}
+		t := 0.0
+		for {
+			if c.Arrival.Process == ProcConstant {
+				// Deterministic spacing follows the envelope directly: the
+				// local gap is the reciprocal of the instantaneous rate.
+				f := sc.Envelope.factor(t, dur)
+				if f <= 0 {
+					f = 1e-9
+				}
+				t += 1 / (rate * f)
+				if t >= dur {
+					break
+				}
+				out = append(out, ArrivalEvent{At: toSimTime(t), Client: ci})
+				continue
+			}
+			t += c.Arrival.gap(rng, meanGap)
+			if t >= dur {
+				break
+			}
+			// Lewis-Shedler thinning: candidates arrive at the peak rate
+			// and survive with probability envelope(t)/peak.
+			if f := sc.Envelope.factor(t, dur); f < peak && !rng.Bool(f/peak) {
+				continue
+			}
+			out = append(out, ArrivalEvent{At: toSimTime(t), Client: ci})
+			if len(out) > maxArrivals {
+				return nil, errf(sc.srcName(), c.Line, "scenario.clients."+c.ID,
+					"schedule exceeds %d arrivals; lower the rate or shorten the scenario", maxArrivals)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Client < out[j].Client
+	})
+	return out, nil
+}
+
+// srcName labels arrival-compilation errors; the scenario doesn't carry
+// its document, so errors use a generic source.
+func (sc *Scenario) srcName() string { return "scenario" }
+
+func toSimTime(seconds float64) simtime.Time {
+	return simtime.Time(seconds * float64(simtime.Second))
+}
+
+// gap draws one inter-arrival gap (seconds) with the given mean.
+func (a Arrival) gap(rng *xrand.Rand, mean float64) float64 {
+	const minGap = 1e-9
+	var g float64
+	switch a.Process {
+	case ProcGamma:
+		// Gamma renewal gaps: shape k = 1/cv^2 keeps the mean while the
+		// variance tracks the requested burstiness.
+		k := 1 / (a.CV * a.CV)
+		g = rng.Gamma(k, mean/k)
+	case ProcWeibull:
+		k := weibullShape(a.CV)
+		g = rng.Weibull(k, mean/math.Gamma(1+1/k))
+	default: // poisson
+		g = rng.Exp(mean)
+	}
+	if g < minGap {
+		g = minGap
+	}
+	return g
+}
+
+// weibullShape inverts the Weibull CV relation
+// cv^2 = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1 for the shape k by bisection.
+func weibullShape(cv float64) float64 {
+	cvOf := func(k float64) float64 {
+		g1 := math.Gamma(1 + 1/k)
+		return math.Sqrt(math.Gamma(1+2/k)/(g1*g1) - 1)
+	}
+	lo, hi := 0.05, 50.0 // cvOf is decreasing: cv(0.05) huge, cv(50) tiny
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if cvOf(mid) > cv {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// peak is the envelope's maximum rate multiplier over the window.
+func (e *Envelope) peak(durS float64) float64 {
+	if e == nil {
+		return 1
+	}
+	switch e.Kind {
+	case EnvDiurnal:
+		return 1 + e.Amplitude
+	case EnvFlash:
+		return math.Max(1, e.Factor)
+	case EnvRamp:
+		return math.Max(e.From, e.To)
+	default:
+		return 1
+	}
+}
+
+// factor is the envelope's rate multiplier at time t (seconds).
+func (e *Envelope) factor(t, durS float64) float64 {
+	if e == nil {
+		return 1
+	}
+	switch e.Kind {
+	case EnvDiurnal:
+		return 1 + e.Amplitude*math.Sin(2*math.Pi*t/e.PeriodS)
+	case EnvFlash:
+		if t >= e.AtS && t < e.AtS+e.DurS {
+			return e.Factor
+		}
+		return 1
+	case EnvRamp:
+		if durS <= 0 {
+			return e.From
+		}
+		return e.From + (e.To-e.From)*(t/durS)
+	default:
+		return 1
+	}
+}
+
+// replayArrivals maps the resolved trace rows onto client indices.
+func (sc *Scenario) replayArrivals() ([]ArrivalEvent, error) {
+	idx := make(map[string]int, len(sc.Clients))
+	for i, c := range sc.Clients {
+		idx[c.ID] = i
+	}
+	out := make([]ArrivalEvent, 0, len(sc.Replay.Rows))
+	for i, row := range sc.Replay.Rows {
+		ci, ok := idx[row.Client]
+		if !ok {
+			return nil, errf(sc.srcName(), sc.Replay.Line, "scenario.replay",
+				"trace row %d names unknown client %q", i+1, row.Client)
+		}
+		if row.TMS < 0 {
+			return nil, errf(sc.srcName(), sc.Replay.Line, "scenario.replay",
+				"trace row %d has a negative timestamp", i+1)
+		}
+		out = append(out, ArrivalEvent{At: simtime.Time(row.TMS * float64(simtime.Millisecond)), Client: ci})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// ParseTrace parses a "t_ms,client" CSV arrival trace. A first line
+// "t_ms,client" is treated as a header and skipped.
+func ParseTrace(name string, data []byte) ([]ReplayRow, error) {
+	var rows []ReplayRow
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i == 0 && strings.EqualFold(line, "t_ms,client") {
+			continue
+		}
+		comma := strings.IndexByte(line, ',')
+		if comma < 0 {
+			return nil, errf(name, i+1, "", "expected \"t_ms,client\", got %q", line)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(line[:comma]), 64)
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, errf(name, i+1, "", "bad timestamp %q", line[:comma])
+		}
+		client := strings.TrimSpace(line[comma+1:])
+		if client == "" {
+			return nil, errf(name, i+1, "", "missing client id")
+		}
+		rows = append(rows, ReplayRow{TMS: t, Client: client})
+		if len(rows) > maxArrivals {
+			return nil, errf(name, i+1, "", "trace exceeds %d rows", maxArrivals)
+		}
+	}
+	return rows, nil
+}
+
+// ResolveReplay loads the scenario's replay trace, if any, through
+// readFile (typically os.ReadFile relative to the document, or an
+// embedded FS for bundled scenarios).
+func (doc *Document) ResolveReplay(readFile func(string) ([]byte, error)) error {
+	sc := doc.Scenario
+	if sc == nil || sc.Replay == nil || len(sc.Replay.Rows) > 0 {
+		return nil
+	}
+	data, err := readFile(sc.Replay.CSV)
+	if err != nil {
+		return errf(doc.Src, sc.Replay.Line, "scenario.replay", "loading trace: %v", err)
+	}
+	rows, err := ParseTrace(sc.Replay.CSV, data)
+	if err != nil {
+		return err
+	}
+	sc.Replay.Rows = rows
+	return nil
+}

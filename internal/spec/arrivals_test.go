@@ -1,0 +1,259 @@
+package spec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exist/internal/simtime"
+)
+
+func scenarioFor(t *testing.T, body string) *Scenario {
+	t.Helper()
+	doc, err := Parse("arr.yaml", []byte("version: 1\nscenario:\n"+body))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return doc.Scenario
+}
+
+// TestArrivalsDeterministic compiles the same scenario twice and from a
+// value copy; the schedules must be identical event for event.
+func TestArrivalsDeterministic(t *testing.T) {
+	sc := scenarioFor(t, `  duration_s: 3
+  aggregate_rate: 500
+  clients:
+    - id: web
+      rate_fraction: 0.5
+      arrival: {process: gamma-bursty, cv: 2.5}
+    - id: api
+      rate_fraction: 0.3
+      arrival: {process: weibull, cv: 1.5}
+    - id: batch
+      rate_fraction: 0.2
+      arrival: {process: constant}
+  envelope: {kind: diurnal, period_s: 1, amplitude: 0.6}
+`)
+	a, err := sc.Arrivals(42, 1)
+	if err != nil {
+		t.Fatalf("Arrivals: %v", err)
+	}
+	b, err := sc.Arrivals(42, 1)
+	if err != nil {
+		t.Fatalf("Arrivals: %v", err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted at %d", i)
+		}
+	}
+	// A different seed must give a different schedule.
+	c, err := sc.Arrivals(43, 1)
+	if err != nil {
+		t.Fatalf("Arrivals: %v", err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seed 42 and 43 compiled to identical schedules")
+	}
+}
+
+// TestArrivalsRates checks each process hits its configured mean rate
+// within sampling tolerance.
+func TestArrivalsRates(t *testing.T) {
+	for _, proc := range []string{"poisson", "gamma-bursty", "weibull", "constant"} {
+		arrival := "{process: " + proc + "}"
+		if proc == ProcGamma || proc == ProcWeibull {
+			arrival = "{process: " + proc + ", cv: 2}"
+		}
+		sc := scenarioFor(t, `  duration_s: 20
+  aggregate_rate: 1000
+  clients:
+    - id: only
+      rate_fraction: 1
+      arrival: `+arrival+"\n")
+		events, err := sc.Arrivals(7, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		got := float64(len(events)) / 20
+		if got < 900 || got > 1100 {
+			t.Errorf("%s: rate = %.0f req/s, want ~1000", proc, got)
+		}
+	}
+}
+
+// TestArrivalsFlashCrowd checks the flash window actually multiplies the
+// local rate.
+func TestArrivalsFlashCrowd(t *testing.T) {
+	sc := scenarioFor(t, `  duration_s: 10
+  aggregate_rate: 400
+  clients:
+    - id: only
+      rate_fraction: 1
+  envelope: {kind: flash-crowd, at_s: 4, dur_s: 2, factor: 3}
+`)
+	events, err := sc.Arrivals(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inWindow, outside int
+	for _, e := range events {
+		s := float64(e.At) / float64(simtime.Second)
+		if s >= 4 && s < 6 {
+			inWindow++
+		} else {
+			outside++
+		}
+	}
+	inRate := float64(inWindow) / 2
+	outRate := float64(outside) / 8
+	if inRate < 2*outRate {
+		t.Errorf("flash window rate %.0f not ≫ baseline %.0f", inRate, outRate)
+	}
+}
+
+// TestArrivalsRateScale checks rateScale maps the aggregate rate down.
+func TestArrivalsRateScale(t *testing.T) {
+	sc := scenarioFor(t, `  duration_s: 10
+  aggregate_rate: 1000
+  clients:
+    - id: only
+      rate_fraction: 1
+`)
+	events, err := sc.Arrivals(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(len(events)) / 10; got < 5 || got > 16 {
+		t.Errorf("scaled rate = %.1f req/s, want ~10", got)
+	}
+}
+
+// TestArrivalsCap rejects schedules beyond the arrival bound instead of
+// allocating them.
+func TestArrivalsCap(t *testing.T) {
+	sc := scenarioFor(t, `  duration_s: 10000
+  aggregate_rate: 10000000
+  clients:
+    - id: only
+      rate_fraction: 1
+`)
+	_, err := sc.Arrivals(1, 1)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want arrival-cap error", err)
+	}
+}
+
+// TestReplayArrivals maps trace rows to client indices in time order.
+func TestReplayArrivals(t *testing.T) {
+	sc := scenarioFor(t, `  duration_s: 1
+  clients:
+    - id: a
+    - id: b
+  replay: {csv: inline.csv}
+`)
+	rows, err := ParseTrace("inline.csv", []byte("t_ms,client\n# comment\n5,b\n1.5,a\n\n2,a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Replay.Rows = rows
+	events, err := sc.Arrivals(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ArrivalEvent{
+		{At: simtime.Time(1.5 * float64(simtime.Millisecond)), Client: 0},
+		{At: 2 * simtime.Millisecond, Client: 0},
+		{At: 5 * simtime.Millisecond, Client: 1},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+
+	sc.Replay.Rows = []ReplayRow{{TMS: 1, Client: "ghost"}}
+	if _, err := sc.Arrivals(0, 1); err == nil || !strings.Contains(err.Error(), "unknown client") {
+		t.Errorf("unknown client: err = %v", err)
+	}
+	sc.Replay.Rows = []ReplayRow{{TMS: -1, Client: "a"}}
+	if _, err := sc.Arrivals(0, 1); err == nil || !strings.Contains(err.Error(), "negative timestamp") {
+		t.Errorf("negative timestamp: err = %v", err)
+	}
+}
+
+// TestParseTraceErrors covers malformed trace rows.
+func TestParseTraceErrors(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"nocomma\n", "expected"},
+		{"abc,web\n", "bad timestamp"},
+		{"1,\n", "missing client id"},
+	} {
+		if _, err := ParseTrace("t.csv", []byte(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseTrace(%q) err = %v, want %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestWeibullShape inverts representative CVs back through the Weibull
+// CV relation.
+func TestWeibullShape(t *testing.T) {
+	for _, cv := range []float64{0.5, 1, 2, 4} {
+		k := weibullShape(cv)
+		g1 := math.Gamma(1 + 1/k)
+		got := math.Sqrt(math.Gamma(1+2/k)/(g1*g1) - 1)
+		if math.Abs(got-cv) > 1e-6 {
+			t.Errorf("weibullShape(%g) = %g, round-trips to cv %g", cv, k, got)
+		}
+	}
+}
+
+// TestResolveReplay loads the trace through the provided reader exactly
+// once and records rows on the scenario.
+func TestResolveReplay(t *testing.T) {
+	doc, err := Parse("r.yaml", []byte(`version: 1
+scenario:
+  duration_s: 1
+  clients:
+    - id: a
+  replay: {csv: trace.csv}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = doc.ResolveReplay(func(path string) ([]byte, error) {
+		if path != "trace.csv" {
+			t.Errorf("read %q, want trace.csv", path)
+		}
+		return []byte("1,a\n2,a\n"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scenario.Replay.Rows) != 2 {
+		t.Fatalf("rows = %+v", doc.Scenario.Replay.Rows)
+	}
+}

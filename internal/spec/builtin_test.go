@@ -1,0 +1,47 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuiltinNames(t *testing.T) {
+	want := []string{"diurnal", "flash-crowd", "replay"}
+	if got := BuiltinNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("BuiltinNames() = %v, want %v", got, want)
+	}
+}
+
+// TestLoadBuiltins parses every bundled scenario and compiles its arrival
+// schedule, so a malformed bundled document fails in tests rather than at
+// first use.
+func TestLoadBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		doc, err := LoadBuiltin(name)
+		if err != nil {
+			t.Fatalf("LoadBuiltin(%q): %v", name, err)
+		}
+		if doc.Name != name {
+			t.Errorf("%s: document name %q does not match file name", name, doc.Name)
+		}
+		if doc.Desc == "" {
+			t.Errorf("%s: bundled scenario needs a desc for -list", name)
+		}
+		if doc.Scenario == nil {
+			t.Fatalf("%s: bundled document has no scenario", name)
+		}
+		arr, err := doc.Scenario.Arrivals(doc.Seed, 1.0/100)
+		if err != nil {
+			t.Fatalf("%s: Arrivals: %v", name, err)
+		}
+		if len(arr) == 0 {
+			t.Errorf("%s: compiled schedule is empty", name)
+		}
+		if doc.Scenario.Replay != nil && len(doc.Scenario.Replay.Rows) == 0 {
+			t.Errorf("%s: replay trace did not resolve", name)
+		}
+	}
+	if _, err := LoadBuiltin("no-such"); err == nil {
+		t.Fatal("expected error for unknown bundled scenario")
+	}
+}

@@ -1,0 +1,151 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// validDoc is a fully-populated document every validation case mutates
+// from; it must itself parse cleanly.
+const validDoc = `version: 1
+name: valid
+seed: 7
+profiles:
+  - name: app
+    class: cloud
+    mode: cpushare
+    ipc: 1.2
+    indirect_frac: 0.1
+    threads: 4
+    syscalls: {read: 1}
+    mem_class_mix: [0.5, 0.3, 0.2]
+    mem_width_mix: [0.25, 0.25, 0.25, 0.25]
+scenario:
+  duration_s: 5
+  aggregate_rate: 200
+  app: app
+  clients:
+    - id: web
+      rate_fraction: 0.6
+      slo_class: latency
+      slo_ms: 20
+      arrival: {process: gamma-bursty, cv: 2}
+    - id: batch
+      rate_fraction: 0.4
+      slo_class: besteffort
+  envelope:
+    kind: diurnal
+    period_s: 2
+    amplitude: 0.4
+  node:
+    cores: 8
+    seed: 11
+    co_runners:
+      - {profile: xz, seed_offset: 3}
+  cluster: {nodes: 4, cores_per_node: 8, replicas: 3, requests: 100}
+  faults: {put_fail: 0.01, crash_mtbf_s: 10, crash_downtime_s: 1}
+`
+
+func TestValidDocParses(t *testing.T) {
+	if _, err := Parse("valid.yaml", []byte(validDoc)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+// TestValidationErrors covers every semantic error path with the precise
+// message it must produce.
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad version", "version: 2\n", "unsupported spec version 2"},
+		{"missing profile name", "version: 1\nprofiles:\n  - class: cloud\n", "profile needs a name"},
+		{"duplicate profile", "version: 1\nprofiles:\n  - name: a\n  - name: a\n", `duplicate profile "a"`},
+		{"unknown class", "version: 1\nprofiles:\n  - name: a\n    class: gpu\n", `unknown class "gpu"`},
+		{"unknown mode", "version: 1\nprofiles:\n  - name: a\n    mode: pinned\n", `unknown mode "pinned"`},
+		{"zero ipc", "version: 1\nprofiles:\n  - name: a\n    ipc: 0\n", "ipc must be positive, got 0"},
+		{"negative branch density", "version: 1\nprofiles:\n  - name: a\n    branch_per_kcycle: -4\n",
+			"branch_per_kcycle must be positive, got -4"},
+		{"indirect_frac range", "version: 1\nprofiles:\n  - name: a\n    indirect_frac: 1.5\n",
+			"indirect_frac must be in [0, 1], got 1.5"},
+		{"negative threads", "version: 1\nprofiles:\n  - name: a\n    threads: -2\n",
+			"threads must not be negative, got -2"},
+		{"negative syscall weight", "version: 1\nprofiles:\n  - name: a\n    syscalls: {read: -1}\n",
+			"weight must not be negative, got -1"},
+		{"mem_class_mix arity", "version: 1\nprofiles:\n  - name: a\n    mem_class_mix: [1, 2]\n",
+			"mem_class_mix needs exactly 3 weights, got 2"},
+		{"mem_width_mix arity", "version: 1\nprofiles:\n  - name: a\n    mem_width_mix: [1, 2, 3, 4, 5]\n",
+			"mem_width_mix needs exactly 4 weights, got 5"},
+		{"zero duration", "version: 1\nscenario:\n  duration_s: 0\n", "duration_s must be positive"},
+		{"missing client id", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - rate_fraction: 1\n",
+			"client needs an id"},
+		{"duplicate client id", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 0.5\n    - id: a\n      rate_fraction: 0.5\n",
+			`duplicate client id "a"`},
+		{"latency without slo_ms", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 1\n      slo_class: latency\n",
+			"slo_class latency needs a positive slo_ms"},
+		{"unknown slo class", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 1\n      slo_class: gold\n",
+			`unknown slo_class "gold"`},
+		{"gamma without cv", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 1\n      arrival: {process: gamma-bursty}\n",
+			`arrival process "gamma-bursty" needs a positive cv`},
+		{"unknown process", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 1\n      arrival: {process: pareto}\n",
+			`unknown arrival process "pareto"`},
+		{"replay without csv", "version: 1\nscenario:\n  duration_s: 1\n  clients:\n    - id: a\n  replay: {}\n",
+			"replay needs a csv path"},
+		{"replay without clients", "version: 1\nscenario:\n  duration_s: 1\n  replay: {csv: t.csv}\n",
+			"replay needs clients"},
+		{"zero aggregate rate", "version: 1\nscenario:\n  duration_s: 1\n  clients:\n    - id: a\n      rate_fraction: 1\n",
+			"aggregate_rate must be positive and finite, got 0"},
+		{"zero rate fraction", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n",
+			"rate_fraction must be positive, got 0"},
+		{"fractions sum", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 0.5\n    - id: b\n      rate_fraction: 0.4\n",
+			"rate fractions must sum to 1, got 0.9"},
+		{"diurnal without period", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: diurnal, amplitude: 0.5}\n",
+			"diurnal envelope needs a positive period_s"},
+		{"diurnal amplitude", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: diurnal, period_s: 1, amplitude: 1}\n",
+			"diurnal amplitude must be in [0, 1), got 1"},
+		{"flash without factor", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: flash-crowd, dur_s: 1}\n",
+			"flash-crowd envelope needs a positive factor"},
+		{"flash without dur", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: flash-crowd, factor: 3}\n",
+			"flash-crowd envelope needs a positive dur_s"},
+		{"flash negative at", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: flash-crowd, factor: 3, dur_s: 1, at_s: -1}\n",
+			"flash-crowd at_s must not be negative"},
+		{"ramp zero from", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: ramp, from: 0, to: 2}\n",
+			"ramp envelope needs positive from and to"},
+		{"unknown envelope", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: sawtooth}\n",
+			`unknown envelope kind "sawtooth"`},
+		{"fault probability", "version: 1\nscenario:\n  duration_s: 1\n  faults: {put_fail: 1.5}\n",
+			"put_fail must be a probability in [0, 1], got 1.5"},
+		{"negative crash timing", "version: 1\nscenario:\n  duration_s: 1\n  faults: {crash_mtbf_s: -1}\n",
+			"crash timings must not be negative"},
+		{"negative cluster size", "version: 1\nscenario:\n  duration_s: 1\n  cluster: {nodes: -1}\n",
+			"cluster sizes must not be negative"},
+		// NaN never compares true, so naive v <= 0 guards would admit it
+		// and hang arrival compilation; these must all be rejected.
+		{"nan duration", "version: 1\nscenario:\n  duration_s: nan\n", "duration_s must be positive"},
+		{"inf duration", "version: 1\nscenario:\n  duration_s: inf\n", "duration_s must be positive"},
+		{"nan rate", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: nan\n  clients:\n    - id: a\n      rate_fraction: 1\n",
+			"aggregate_rate must be positive"},
+		{"nan fraction", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: nan\n",
+			"rate_fraction must be positive"},
+		{"nan cv", "version: 1\nscenario:\n  duration_s: 1\n  aggregate_rate: 1\n  clients:\n    - id: a\n      rate_fraction: 1\n      arrival: {process: gamma-bursty, cv: nan}\n",
+			"needs a positive cv"},
+		{"nan amplitude", "version: 1\nscenario:\n  duration_s: 1\n  envelope: {kind: diurnal, period_s: 1, amplitude: nan}\n",
+			"diurnal amplitude must be in [0, 1)"},
+		{"nan ipc", "version: 1\nprofiles:\n  - name: a\n    ipc: nan\n", "ipc must be positive"},
+		{"nan fault", "version: 1\nscenario:\n  duration_s: 1\n  faults: {stall: nan}\n",
+			"stall must be a probability in [0, 1]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("v.yaml", []byte(c.doc))
+			if err == nil {
+				t.Fatalf("document accepted, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"embed"
+	"fmt"
+	"sync"
+
+	"exist/internal/binary"
+	"exist/internal/kernel"
+	"exist/internal/sched"
+	"exist/internal/spec"
+)
+
+// The Table 1 and case-study fleets live as spec DSL documents embedded in
+// the binary; the SPEC()/OnlineBenchmarks()/CloudApps()/CaseStudyApps()
+// accessors serve compiled copies, so every profile in the repo — built-in
+// or user-supplied — comes into being through the same compiler.
+//
+//go:embed table1.yaml casestudy.yaml
+var builtinFS embed.FS
+
+// classNames maps spec class strings to Class values.
+var classNames = map[string]Class{
+	"compute": Compute,
+	"online":  Online,
+	"cloud":   Cloud,
+}
+
+// modeNames maps spec mode strings to provisioning modes.
+var modeNames = map[string]sched.ProvisionMode{
+	"cpuset":   sched.CPUSet,
+	"cpushare": sched.CPUShare,
+}
+
+// syscallNames maps spec syscall mnemonics to kernel classes. The
+// mnemonics match kernel.DefaultSyscallTable's decoded-report names.
+var syscallNames = map[string]kernel.SyscallClass{
+	"read":        kernel.SysRead,
+	"write":       kernel.SysWrite,
+	"sendto":      kernel.SysNetSend,
+	"recvfrom":    kernel.SysNetRecv,
+	"futex":       kernel.SysFutex,
+	"epoll_wait":  kernel.SysPoll,
+	"nanosleep":   kernel.SysNanosleep,
+	"sched_yield": kernel.SysSchedYield,
+	"write_sync":  kernel.SysFileWriteSlow,
+}
+
+// categoryNames maps spec category names (binary.FuncCategory.String
+// values) to categories.
+var categoryNames = map[string]binary.FuncCategory{
+	"GENERAL":       binary.CatGeneral,
+	"MEM_JE":        binary.CatMemJE,
+	"MEM_TC":        binary.CatMemTC,
+	"MEM_ALLOC":     binary.CatMemAlloc,
+	"MEM_FREE":      binary.CatMemFree,
+	"MEM_COPY":      binary.CatMemCopy,
+	"MEM_SET":       binary.CatMemSet,
+	"MEM_CMP":       binary.CatMemCmp,
+	"MEM_MOVE":      binary.CatMemMove,
+	"SYNC_ATOMIC":   binary.CatSyncAtomic,
+	"SYNC_SPINLOCK": binary.CatSyncSpinlock,
+	"SYNC_MUTEX":    binary.CatSyncMutex,
+	"SYNC_CAS":      binary.CatSyncCAS,
+	"KERNEL_SCHE":   binary.CatKernelSche,
+	"KERNEL_IRQ":    binary.CatKernelIRQ,
+	"KERNEL_NET":    binary.CatKernelNet,
+}
+
+// CompileProfiles compiles a spec document's profiles, in document order,
+// into Profile values. A profile's Base may name an earlier profile in the
+// same document or one from context (e.g. the built-in Table 1 fleet);
+// set fields override the inherited value, unset fields keep it. Abstract
+// profiles resolve as bases but are not emitted.
+func CompileProfiles(doc *spec.Document, context map[string]Profile) ([]Profile, error) {
+	resolved := make(map[string]Profile, len(context)+len(doc.Profiles))
+	for k, v := range context {
+		resolved[k] = v
+	}
+	var out []Profile
+	for i := range doc.Profiles {
+		ps := &doc.Profiles[i]
+		p, err := compileProfile(doc, ps, resolved)
+		if err != nil {
+			return nil, err
+		}
+		resolved[ps.Name] = p
+		if !ps.Abstract {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func compileProfile(doc *spec.Document, ps *spec.Profile, resolved map[string]Profile) (Profile, error) {
+	fail := func(format string, args ...any) (Profile, error) {
+		return Profile{}, fmt.Errorf("%s:%d: profiles.%s: %s", doc.Src, ps.Line, ps.Name, fmt.Sprintf(format, args...))
+	}
+	var p Profile
+	if ps.Base != "" {
+		base, ok := resolved[ps.Base]
+		if !ok {
+			return fail("unknown base profile %q", ps.Base)
+		}
+		p = base
+	}
+	p.Name = ps.Name
+	if ps.Desc != "" {
+		p.Desc = ps.Desc
+	}
+	if ps.Class != "" {
+		c, ok := classNames[ps.Class]
+		if !ok {
+			return fail("unknown class %q", ps.Class)
+		}
+		p.Class = c
+	}
+	if ps.Mode != "" {
+		m, ok := modeNames[ps.Mode]
+		if !ok {
+			return fail("unknown mode %q", ps.Mode)
+		}
+		p.Mode = m
+	}
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setI := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF(&p.BranchPerKCycle, ps.BranchPerKCycle)
+	setF(&p.IndirectFrac, ps.IndirectFrac)
+	setF(&p.IPC, ps.IPC)
+	if ps.MeanCyclesPerSyscall != nil {
+		p.MeanCyclesPerSyscall = *ps.MeanCyclesPerSyscall
+	}
+	setI(&p.Threads, ps.Threads)
+	setI(&p.CoresWanted, ps.CoresWanted)
+	setF(&p.BranchMissPerKInsn, ps.BranchMissPerKInsn)
+	setF(&p.L1MissPerKInsn, ps.L1MissPerKInsn)
+	setF(&p.LLCMissPerKInsn, ps.LLCMissPerKInsn)
+	setI(&p.Priority, ps.Priority)
+	setI(&p.PastIssues, ps.PastIssues)
+	setI(&p.Funcs, ps.Funcs)
+	setI(&p.AvgBlockCycles, ps.AvgBlockCycles)
+	if ps.Syscalls != nil {
+		w, err := SyscallWeights(ps.Syscalls)
+		if err != nil {
+			return fail("syscalls: %v", err)
+		}
+		p.SyscallClassWeights = w
+	}
+	if ps.Categories != nil {
+		var mix [binary.NumCategories]float64
+		for name, w := range ps.Categories {
+			c, ok := categoryNames[name]
+			if !ok {
+				return fail("categories: unknown category %q", name)
+			}
+			mix[c] = w
+		}
+		p.CategoryMix = mix
+	}
+	if ps.MemClassMix != nil {
+		if len(ps.MemClassMix) != binary.NumMemClasses {
+			return fail("mem_class_mix needs %d weights", binary.NumMemClasses)
+		}
+		copy(p.MemClassMix[:], ps.MemClassMix)
+	}
+	if ps.MemWidthMix != nil {
+		if len(ps.MemWidthMix) != len(p.MemWidthMix) {
+			return fail("mem_width_mix needs %d weights", len(p.MemWidthMix))
+		}
+		copy(p.MemWidthMix[:], ps.MemWidthMix)
+	}
+	return p, nil
+}
+
+// SyscallWeights compiles a {mnemonic: weight} map into the positional
+// weight slice the scheduler consumes, sized to the highest class present
+// — the same shape the hand-written weight helpers produced.
+func SyscallWeights(m map[string]float64) ([]float64, error) {
+	maxClass := -1
+	for name := range m {
+		c, ok := syscallNames[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown syscall %q", name)
+		}
+		if int(c) > maxClass {
+			maxClass = int(c)
+		}
+	}
+	if maxClass < 0 {
+		return nil, fmt.Errorf("empty syscall weight map")
+	}
+	out := make([]float64, maxClass+1)
+	for name, w := range m {
+		out[syscallNames[name]] = w
+	}
+	return out, nil
+}
+
+// builtins caches the compiled embedded fleets. An error here means the
+// embedded documents don't compile — a build defect, so accessors panic.
+var builtins struct {
+	once      sync.Once
+	spec      []Profile
+	online    []Profile
+	cloud     []Profile
+	casestudy []Profile
+	err       error
+}
+
+func loadBuiltins() {
+	builtins.once.Do(func() {
+		table1, err := parseBuiltin("table1.yaml")
+		if err != nil {
+			builtins.err = err
+			return
+		}
+		fleet, err := CompileProfiles(table1, nil)
+		if err != nil {
+			builtins.err = err
+			return
+		}
+		byName := make(map[string]Profile, len(fleet))
+		for _, p := range fleet {
+			byName[p.Name] = p
+			switch p.Class {
+			case Compute:
+				builtins.spec = append(builtins.spec, p)
+			case Online:
+				builtins.online = append(builtins.online, p)
+			case Cloud:
+				builtins.cloud = append(builtins.cloud, p)
+			}
+		}
+		cs, err := parseBuiltin("casestudy.yaml")
+		if err != nil {
+			builtins.err = err
+			return
+		}
+		builtins.casestudy, builtins.err = CompileProfiles(cs, byName)
+	})
+	if builtins.err != nil {
+		panic("workload: embedded profile specs failed to compile: " + builtins.err.Error())
+	}
+}
+
+func parseBuiltin(name string) (*spec.Document, error) {
+	data, err := builtinFS.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Parse(name, data)
+}
+
+// group returns a fresh slice of copies of a compiled built-in group, so
+// callers can tweak fields without touching the cache.
+func group(ps []Profile) []Profile {
+	return append([]Profile(nil), ps...)
+}
+
+// SPEC returns the ten SPEC CPU 2017 Integer profiles of Table 1,
+// compiled from the embedded table1.yaml spec document.
+func SPEC() []Profile {
+	loadBuiltins()
+	return group(builtins.spec)
+}
+
+// OnlineBenchmarks returns the mc/ng/ms profiles. High syscall and
+// context-switch rates are what make them sensitive to per-switch and
+// per-syscall tracing costs.
+func OnlineBenchmarks() []Profile {
+	loadBuiltins()
+	return group(builtins.online)
+}
+
+// CloudApps returns the five production-style services (Table 1).
+func CloudApps() []Profile {
+	loadBuiltins()
+	return group(builtins.cloud)
+}
+
+// CaseStudyApps returns the five applications of the paper's case study
+// (Figures 21 and 22): Search, Cache, Prediction, plus the Matching (BE
+// engine) and Recommend (MVAP) AI-powered services. The first three reuse
+// the Table 1 services under the case study's names.
+func CaseStudyApps() []Profile {
+	loadBuiltins()
+	return group(builtins.casestudy)
+}

@@ -1,0 +1,95 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGammaMoments checks Marsaglia-Tsang sampling hits the Gamma mean
+// (shape*scale) and variance (shape*scale^2), including the shape<1
+// boost path.
+func TestGammaMoments(t *testing.T) {
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.25, 2}, {1, 5}, {4, 0.5}, {16, 1},
+	} {
+		r := New(7)
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%g, %g) = %g < 0", c.shape, c.scale, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("Gamma(%g, %g) mean = %g, want ~%g", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Gamma(%g, %g) var = %g, want ~%g", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+// TestWeibullMoments checks inverse-transform sampling hits the Weibull
+// mean scale*Gamma(1+1/k).
+func TestWeibullMoments(t *testing.T) {
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.5, 1}, {1, 3}, {2, 2},
+	} {
+		r := New(9)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := r.Weibull(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Weibull(%g, %g) = %g < 0", c.shape, c.scale, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		wantMean := c.scale * math.Gamma(1+1/c.shape)
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("Weibull(%g, %g) mean = %g, want ~%g", c.shape, c.scale, mean, wantMean)
+		}
+	}
+}
+
+// TestGammaWeibullDeterministic: same seed, same stream.
+func TestGammaWeibullDeterministic(t *testing.T) {
+	a, b := New(11), New(11)
+	for i := 0; i < 1000; i++ {
+		if a.Gamma(2, 3) != b.Gamma(2, 3) {
+			t.Fatalf("Gamma diverged at draw %d", i)
+		}
+	}
+	a, b = New(12), New(12)
+	for i := 0; i < 1000; i++ {
+		if a.Weibull(2, 3) != b.Weibull(2, 3) {
+			t.Fatalf("Weibull diverged at draw %d", i)
+		}
+	}
+}
+
+// TestGammaWeibullDegenerate: non-positive parameters return 0 rather
+// than NaN, so a zero-valued config cannot poison downstream arithmetic.
+func TestGammaWeibullDegenerate(t *testing.T) {
+	r := New(1)
+	if g := r.Gamma(0, 1); g != 0 {
+		t.Errorf("Gamma(0, 1) = %g, want 0", g)
+	}
+	if g := r.Gamma(1, -1); g != 0 {
+		t.Errorf("Gamma(1, -1) = %g, want 0", g)
+	}
+	if w := r.Weibull(0, 1); w != 0 {
+		t.Errorf("Weibull(0, 1) = %g, want 0", w)
+	}
+	if w := r.Weibull(1, 0); w != 0 {
+		t.Errorf("Weibull(1, 0) = %g, want 0", w)
+	}
+}

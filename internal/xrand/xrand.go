@@ -213,6 +213,55 @@ func (r *Rand) Pareto(xm, alpha float64) float64 {
 	return xm / math.Pow(u, 1/alpha)
 }
 
+// Gamma returns a gamma-distributed value with the given shape k and
+// scale theta (mean k·theta), via Marsaglia-Tsang squeeze rejection.
+// Gamma inter-arrival times with k < 1 model bursty request streams
+// (CV = 1/sqrt(k) > 1); k > 1 models smoothed streams.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: G(k) = G(k+1) · U^(1/k).
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull-distributed value with the given shape k and
+// scale lambda, by inverse transform. Shape < 1 gives heavy-tailed
+// inter-arrival gaps (clustered arrivals); shape > 1 regularizes them.
+func (r *Rand) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
 // WeightedPick returns an index into weights chosen with probability
 // proportional to the weight. It panics if weights is empty or sums to a
 // non-positive value.
