@@ -87,3 +87,7 @@ func BenchmarkChaos(b *testing.B) { runExperiment(b, "chaos") }
 // Data-path extension: v2 wire-format compression and batched uploads.
 
 func BenchmarkDatapath(b *testing.B) { runExperiment(b, "datapath") }
+
+// Scale-out extension: sharded API server and range-leased reconciliation.
+
+func BenchmarkCtrlPlane(b *testing.B) { runExperiment(b, "ctrlplane") }

@@ -21,6 +21,13 @@
 // set, the run ends with an availability/failover summary:
 //
 //	existctl -replicas 3 -ctrl-crash-mtbf 1s -partition-mtbf 800ms
+//
+// -shards splits the API-server store into N shards with range-leased
+// reconciliation: each replica leads a subset of shards, and the run
+// ends with a per-shard scaling summary (leaders, queue depths,
+// reconciles/s, rebalances):
+//
+//	existctl -replicas 3 -shards 8 -ctrl-crash-mtbf 1s
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 42, "fault-injection seed")
 
 		replicas      = flag.Int("replicas", 0, "controller replicas with leader election (0 = serial control plane)")
+		shards        = flag.Int("shards", 0, "API-server store shards with range-leased reconciliation (0 = single shard)")
 		ctrlCrashMTBF = flag.Duration("ctrl-crash-mtbf", 0, "controller mean time between crashes (0 = none)")
 		ctrlCrashDown = flag.Duration("ctrl-crash-down", 0, "controller crash downtime (0 = default)")
 		partitionMTBF = flag.Duration("partition-mtbf", 0, "controller-store partition mean time between events (0 = none)")
@@ -82,6 +90,7 @@ func main() {
 	ccfg.CoresPerNode = *cores
 	ccfg.Seed = *seed
 	ccfg.Replicas = *replicas
+	ccfg.Shards = *shards
 	fc := faults.Config{
 		Seed:              *faultSeed,
 		PutFailProb:       *putFailProb,
@@ -119,6 +128,9 @@ func main() {
 	if *replicas > 0 {
 		fmt.Printf("existctl: replicated control plane: %d controllers competing for the leader lease\n", *replicas)
 	}
+	if *shards > 1 {
+		fmt.Printf("existctl: sharded API server: %d store shards with range-leased reconciliation\n", *shards)
+	}
 
 	req, err := c.Request("existctl-request", cluster.TraceRequestSpec{
 		App:     p.Name,
@@ -143,12 +155,21 @@ func main() {
 	}
 
 	// With a replicated control plane, sample the active-leader count
-	// through the run: safety demands it never exceeds one.
+	// through the run: safety demands it never exceeds one. Under
+	// sharding the invariant is per shard — distinct replicas may lead
+	// disjoint shard ranges concurrently, but no shard may ever have two
+	// fencing-valid owners at once.
 	maxLeaders := 0
 	if *replicas > 0 {
 		var sample func(now simtime.Time)
 		sample = func(now simtime.Time) {
-			if n := c.ActiveLeaders(now); n > maxLeaders {
+			if *shards > 1 {
+				for s := 0; s < c.API.Shards(); s++ {
+					if n := c.ActiveOwnersShard(s, now); n > maxLeaders {
+						maxLeaders = n
+					}
+				}
+			} else if n := c.ActiveLeaders(now); n > maxLeaders {
 				maxLeaders = n
 			}
 			if now < 5*simtime.Second {
@@ -194,10 +215,35 @@ func main() {
 		fmt.Printf("  leader availability       %.4f (%d leadership gaps)\n", avail, gaps)
 		fmt.Printf("  elections / failovers     %d / %d\n", c.Leases.Elections(), c.Leases.Failovers())
 		fmt.Printf("  mean re-adopt time        %.1f ms over %d re-adoptions\n", metrics.Mean(c.Readopts), len(c.Readopts))
-		fmt.Printf("  max concurrent leaders    %d (must be 1)\n", maxLeaders)
+		if *shards > 1 {
+			fmt.Printf("  max owners of any shard   %d (must be 1)\n", maxLeaders)
+		} else {
+			fmt.Printf("  max concurrent leaders    %d (must be 1)\n", maxLeaders)
+		}
 		fmt.Printf("  syncs/requeues/conflicts  %d / %d / %d (%d fenced stale-leader ops)\n",
 			c.Mgmt.Syncs, c.Mgmt.Requeues, c.Mgmt.Conflicts, c.Mgmt.FencedOps)
 		fmt.Printf("  false suspicions / shed   %d / %d\n", c.Mgmt.FalseSuspicions, c.Mgmt.Shed)
+	}
+	if *shards > 1 && *replicas > 0 && c.Leases != nil {
+		elapsed := c.Eng.Now().Seconds()
+		fmt.Printf("existctl: shard scaling summary (%d shards):\n", *shards)
+		for s := 0; s < c.API.Shards(); s++ {
+			holder, token := c.Leases.HolderShard(s)
+			if holder == "" {
+				holder = "(none)"
+			}
+			fmt.Printf("  shard %-3d leader %-8s (fencing token %d)\n", s, holder, token)
+		}
+		for _, ct := range c.Controllers {
+			fmt.Printf("  %-8s owns %d shards %v, queue depth %d\n",
+				ct.Name, len(ct.OwnedShards()), ct.OwnedShards(), ct.QueueDepth())
+		}
+		rps := 0.0
+		if elapsed > 0 {
+			rps = float64(c.Mgmt.Syncs) / elapsed
+		}
+		fmt.Printf("  reconciles/s              %.1f (%d syncs over %.2fs)\n", rps, c.Mgmt.Syncs, elapsed)
+		fmt.Printf("  shard rebalances          %d\n", c.ShardRebalances())
 	}
 	if *cancelAfter > 0 {
 		if err := c.Delete(req.Name); err != nil {

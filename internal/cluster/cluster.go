@@ -21,6 +21,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"exist/internal/binary"
 	"exist/internal/core"
@@ -123,6 +124,11 @@ type TraceRequest struct {
 	// not in controller memory — so a failed-over leader recovers
 	// outstanding slots from a relist.
 	resampleSlots []int
+	// shard is the API-server shard the object lives in (fixed at
+	// creation by the name hash); seq is its global creation sequence,
+	// used to merge per-shard views back into creation order.
+	shard int
+	seq   int64
 }
 
 // CoverageFraction reports the fraction of planned sessions that landed.
@@ -133,21 +139,67 @@ func (r *TraceRequest) CoverageFraction() float64 {
 	return float64(len(r.SessionKeys)) / float64(r.Planned)
 }
 
-// APIServer stores TraceRequests (the Kubernetes API server stand-in).
-// Every stored mutation bumps a global resource version and fans an
-// event out to the open watch streams; legacy phase-transition watchers
-// are kept alongside for tooling.
-type APIServer struct {
+// apiShard is one lock domain of the API server: its own object map,
+// creation order, resource-version counter, and shard-scoped watch
+// streams. Objects are routed to shards by a stable hash of their name
+// (DESIGN.md §15), so a request's shard never changes over its lifetime.
+type apiShard struct {
+	mu       sync.Mutex
 	requests map[string]*TraceRequest
 	order    []string
-	watchers []func(*TraceRequest)
 	rv       int64
+	live     int // non-terminal objects (the store-write cost driver)
 	streams  []*WatchStream
 }
 
-// NewAPIServer returns an empty API server.
-func NewAPIServer() *APIServer {
-	return &APIServer{requests: make(map[string]*TraceRequest)}
+// APIServer stores TraceRequests (the Kubernetes API server stand-in),
+// split into Config.Shards shards keyed by a stable hash of the request
+// name. Every stored mutation bumps the owning shard's resource version
+// and fans an event out to that shard's watch streams (plus any global
+// streams); legacy phase-transition watchers are kept alongside for
+// tooling. With one shard — the default — versions, ordering, and event
+// delivery are identical to the historical single-map server.
+type APIServer struct {
+	shards   []*apiShard
+	global   []*WatchStream // streams observing every shard (tooling)
+	watchers []func(*TraceRequest)
+	seq      int64 // global creation sequence, merges List across shards
+	evSeq    int64 // global event sequence, merges watch drains
+}
+
+// NewAPIServer returns an empty single-shard API server.
+func NewAPIServer() *APIServer { return NewAPIServerShards(1) }
+
+// NewAPIServerShards returns an empty API server with n shards
+// (n < 1 is treated as 1).
+func NewAPIServerShards(n int) *APIServer {
+	if n < 1 {
+		n = 1
+	}
+	a := &APIServer{shards: make([]*apiShard, n)}
+	for i := range a.shards {
+		a.shards[i] = &apiShard{requests: make(map[string]*TraceRequest)}
+	}
+	return a
+}
+
+// Shards returns the shard count.
+func (a *APIServer) Shards() int { return len(a.shards) }
+
+// ShardOf returns the shard index a request name routes to.
+func (a *APIServer) ShardOf(name string) int {
+	return int(hashName(name) % uint64(len(a.shards)))
+}
+
+// LiveInShard returns the number of non-terminal objects in a shard —
+// the table the store scans on every write (the in-model cost driver of
+// DESIGN.md §15).
+func (a *APIServer) LiveInShard(si int) int {
+	s := a.shards[si]
+	s.mu.Lock()
+	n := s.live
+	s.mu.Unlock()
+	return n
 }
 
 // Watch registers fn to run on every request phase transition (the watch
@@ -161,12 +213,21 @@ func (a *APIServer) setPhase(r *TraceRequest, phase Phase, msg string) {
 	if r.Phase == phase {
 		return
 	}
+	s := a.shards[r.shard]
+	s.mu.Lock()
+	wasTerminal := r.Phase.Terminal()
 	r.Phase = phase
 	if msg != "" {
 		r.Message = msg
 	}
-	a.bump(r)
-	a.emit(EventModified, r)
+	if !wasTerminal && phase.Terminal() {
+		s.live--
+	} else if wasTerminal && !phase.Terminal() {
+		s.live++
+	}
+	a.bumpLocked(s, r)
+	a.emitLocked(s, EventModified, r)
+	s.mu.Unlock()
 	for _, fn := range a.watchers {
 		fn(r)
 	}
@@ -174,50 +235,116 @@ func (a *APIServer) setPhase(r *TraceRequest, phase Phase, msg string) {
 
 // Create stores a new request in phase Pending.
 func (a *APIServer) Create(name string, spec TraceRequestSpec) (*TraceRequest, error) {
-	if _, ok := a.requests[name]; ok {
+	si := a.ShardOf(name)
+	s := a.shards[si]
+	s.mu.Lock()
+	if _, ok := s.requests[name]; ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("cluster: trace request %q already exists", name)
 	}
-	r := &TraceRequest{Name: name, Spec: spec, Phase: PhasePending}
-	a.requests[name] = r
-	a.order = append(a.order, name)
-	a.bump(r)
-	a.emit(EventAdded, r)
+	r := &TraceRequest{Name: name, Spec: spec, Phase: PhasePending, shard: si, seq: a.seq}
+	a.seq++
+	s.requests[name] = r
+	s.order = append(s.order, name)
+	s.live++
+	a.bumpLocked(s, r)
+	a.emitLocked(s, EventAdded, r)
+	s.mu.Unlock()
 	return r, nil
 }
 
 // Get retrieves a request.
 func (a *APIServer) Get(name string) (*TraceRequest, bool) {
-	r, ok := a.requests[name]
+	s := a.shards[a.ShardOf(name)]
+	s.mu.Lock()
+	r, ok := s.requests[name]
+	s.mu.Unlock()
 	return r, ok
 }
 
 // Delete removes a request from the server. Only requests in a terminal
 // phase can be deleted; cancel a live request first.
 func (a *APIServer) Delete(name string) error {
-	r, ok := a.requests[name]
+	s := a.shards[a.ShardOf(name)]
+	s.mu.Lock()
+	r, ok := s.requests[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("cluster: trace request %q not found", name)
 	}
 	if !r.Phase.Terminal() {
-		return fmt.Errorf("cluster: trace request %q is %s; cancel it before deleting", name, r.Phase)
+		phase := r.Phase
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: trace request %q is %s; cancel it before deleting", name, phase)
 	}
-	delete(a.requests, name)
-	for i, n := range a.order {
+	delete(s.requests, name)
+	for i, n := range s.order {
 		if n == name {
-			a.order = append(a.order[:i], a.order[i+1:]...)
+			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
 	}
-	a.emit(EventDeleted, r)
+	a.emitLocked(s, EventDeleted, r)
+	s.mu.Unlock()
 	return nil
 }
 
-// List returns requests in creation order.
+// List returns requests in creation order. Across shards the views are
+// merged by the global creation sequence, so the result is identical for
+// any shard count.
 func (a *APIServer) List() []*TraceRequest {
-	out := make([]*TraceRequest, 0, len(a.order))
-	for _, n := range a.order {
-		out = append(out, a.requests[n])
+	if len(a.shards) == 1 {
+		s := a.shards[0]
+		s.mu.Lock()
+		out := make([]*TraceRequest, 0, len(s.order))
+		for _, n := range s.order {
+			out = append(out, s.requests[n])
+		}
+		s.mu.Unlock()
+		return out
 	}
+	// k-way merge: each shard's order slice is already ascending in the
+	// global creation sequence, so repeatedly taking the smallest head
+	// reproduces creation order exactly.
+	views := make([][]*TraceRequest, len(a.shards))
+	total := 0
+	for i, s := range a.shards {
+		s.mu.Lock()
+		v := make([]*TraceRequest, 0, len(s.order))
+		for _, n := range s.order {
+			v = append(v, s.requests[n])
+		}
+		s.mu.Unlock()
+		views[i] = v
+		total += len(v)
+	}
+	out := make([]*TraceRequest, 0, total)
+	heads := make([]int, len(views))
+	for len(out) < total {
+		best := -1
+		for i, v := range views {
+			if heads[i] >= len(v) {
+				continue
+			}
+			if best < 0 || v[heads[i]].seq < views[best][heads[best]].seq {
+				best = i
+			}
+		}
+		out = append(out, views[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// ListShard returns one shard's requests in creation order.
+func (a *APIServer) ListShard(si int) []*TraceRequest {
+	s := a.shards[si]
+	s.mu.Lock()
+	out := make([]*TraceRequest, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.requests[n])
+	}
+	s.mu.Unlock()
 	return out
 }
 
@@ -247,8 +374,14 @@ type Node struct {
 	// control plane only learns of it through lease expiry or a failed
 	// contact attempt.
 	Down bool
+	// Cordoned marks a node gracefully leaving the fleet (rolling
+	// maintenance, autoscaler scale-down): it stops taking new sessions
+	// but keeps running — and uploading — the ones it has. Driven by the
+	// churn fault shape; always false without it.
+	Cordoned bool
 
 	crashes int
+	leaves  int
 	hbSeq   int64
 	// hbFn is the cached heartbeat callback; the renewal loop re-arms the
 	// same closure every beat instead of allocating one per period.
@@ -298,6 +431,37 @@ type MgmtStats struct {
 	// FalseSuspicions counts leases that lapsed on a live node because
 	// its heartbeats arrived late (gray failure).
 	FalseSuspicions int64
+	// Relists counts stale-watch resynchronization relists (shard-scoped
+	// in the sharded control plane; election relists are not included).
+	Relists int64
+}
+
+// In-model CPU costs of the replicated control plane's store traffic
+// (DESIGN.md §15). The API server is modeled as a single-writer table
+// per shard: every operation pays a base cost plus a scan over the
+// shard's live objects, which is what sharding amortizes — per-shard
+// tables are smaller by the shard count. These charges are pure ledger
+// (they schedule no events), and the legacy serial reconciler keeps its
+// historical flat charges.
+const (
+	// syncBaseCPU is one work-queue sync's fixed cost.
+	syncBaseCPU = 20e-6
+	// storeScanCPU is the per-live-object scan cost a store operation
+	// pays in its target shard.
+	storeScanCPU = 0.2e-6
+	// relistBaseCPU and relistObjCPU price a shard relist: fixed cost
+	// plus a per-object charge for the objects actually listed.
+	relistBaseCPU = 100e-6
+	relistObjCPU  = 1e-6
+)
+
+// relistCPU prices a relist of a shard holding k live objects.
+func relistCPU(k int) float64 { return relistBaseCPU + relistObjCPU*float64(k) }
+
+// storeOpCPU models one API-server operation against a shard: the
+// single-writer scan over that shard's live objects.
+func (c *Cluster) storeOpCPU(shard int) float64 {
+	return storeScanCPU * float64(c.API.LiveInShard(shard))
 }
 
 // Config parameterizes a cluster.
@@ -350,6 +514,13 @@ type Config struct {
 	// keeps the legacy serial control plane and its exact event
 	// timeline.
 	Replicas int
+	// Shards splits the API server (and the range leases, watch streams,
+	// and work queues of the replicated plane) into that many shards
+	// keyed by a stable hash of the request name, letting replicas own
+	// disjoint shard ranges and reconcile concurrently. <= 1 keeps a
+	// single shard, whose behavior and output are byte-identical to the
+	// historical unsharded control plane.
+	Shards int
 	// ElectionTTL is how long a leader lease stays valid without
 	// renewal (default 400 ms).
 	ElectionTTL simtime.Duration
@@ -483,6 +654,9 @@ type Cluster struct {
 	pendingUpload []uploadItem
 	batchSeq      int64
 	openSeq       int64
+	// queueSeq is the cluster-global work-queue enqueue sequence; shard
+	// queues merge pops by it (see queueItem).
+	queueSeq int64
 	// advancing is true while the node engines run concurrently between
 	// barriers; session completions observed then are buffered instead of
 	// calling into control-plane state from node goroutines.
@@ -567,12 +741,15 @@ func New(cfg Config) *Cluster {
 	if cfg.QueueMaxDelay <= 0 {
 		cfg.QueueMaxDelay = simtime.Second
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	c := &Cluster{
 		Cfg:          cfg,
 		Eng:          simtime.NewEngine(),
-		API:          NewAPIServer(),
-		OSS:          NewObjectStore(),
-		ODPS:         NewDataStore(),
+		API:          NewAPIServerShards(cfg.Shards),
+		OSS:          NewObjectStoreShards(cfg.Shards),
+		ODPS:         NewDataStoreShards(cfg.Shards),
 		Binaries:     make(map[string]*binary.Program),
 		profiles:     make(map[string]workload.Profile),
 		byName:       make(map[string]*Node),
@@ -621,12 +798,13 @@ func New(cfg Config) *Cluster {
 			n.LeaseUntil = c.Cfg.LeaseTTL
 			c.scheduleHeartbeat(n)
 			c.scheduleCrash(n)
+			c.scheduleChurn(n)
 		}
 	}
 	if cfg.Replicas > 0 {
 		// Replicated control plane: leader-elected controllers drive the
 		// work; no periodic serial reconcile loop runs.
-		c.Leases = &LeaseStore{}
+		c.Leases = NewLeaseStore(cfg.Shards)
 		c.startControllers()
 		return c
 	}
@@ -880,15 +1058,41 @@ func (c *Cluster) crashNode(n *Node, now simtime.Time) {
 	}
 }
 
-// nodeHealthy reports whether the control plane considers a node alive.
-// Without fault injection every node is healthy; with it, health is the
-// lease — a crashed node keeps passing until its lease lapses, exactly
-// the detection delay a real lease scheme has.
+// nodeHealthy reports whether the control plane considers a node
+// schedulable. Without fault injection every node is healthy; with it,
+// health is the lease — a crashed node keeps passing until its lease
+// lapses, exactly the detection delay a real lease scheme has. A
+// cordoned node (graceful leave) is excluded immediately: leaving is
+// announced, not detected.
 func (c *Cluster) nodeHealthy(n *Node, now simtime.Time) bool {
 	if c.Cfg.Faults == nil {
 		return true
 	}
-	return n.LeaseUntil > now
+	return !n.Cordoned && n.LeaseUntil > now
+}
+
+// scheduleChurn arms the node's next graceful leave, if churn injection
+// is configured. Churn is continuous: leave → drain → rejoin → next
+// leave, each interval drawn from the injector's seeded schedule. A
+// leave cordons the node (no new sessions; in-flight ones drain to
+// completion and still upload); the rejoin uncordons it with a fresh
+// lease, making it immediately schedulable again.
+func (c *Cluster) scheduleChurn(n *Node) {
+	d, down, ok := c.Cfg.Faults.NextChurn(n.Name, n.leaves)
+	if !ok {
+		return
+	}
+	c.Eng.AfterDetached(d, func(now simtime.Time) {
+		n.leaves++
+		c.Cfg.Faults.CountLeave()
+		n.Cordoned = true
+		c.Eng.AfterDetached(down, func(now simtime.Time) {
+			n.Cordoned = false
+			n.LeaseUntil = now + c.Cfg.LeaseTTL
+			c.Cfg.Faults.CountJoin()
+			c.scheduleChurn(n)
+		})
+	})
 }
 
 // reconcile is the controller body: it moves Pending requests to Running
@@ -1027,27 +1231,50 @@ func (c *Cluster) plan(r *TraceRequest, now simtime.Time) (period simtime.Durati
 
 	// Spatial sampler: pick repetitions among healthy nodes hosting the
 	// app (health is lease-based and always true without fault injection).
-	var hosts []*Node
-	for _, n := range c.Nodes {
-		if _, ok := n.Apps[r.Spec.App]; ok && c.nodeHealthy(n, now) {
-			hosts = append(hosts, n)
-		}
-	}
-	if len(hosts) == 0 {
-		if c.Cfg.Faults != nil {
-			return 0, 0, nil, true, nil
-		}
-		return 0, 0, nil, false, fmt.Errorf("app %q deployed nowhere", r.Spec.App)
-	}
 	if r.Spec.Nodes != nil {
+		// Pinned placement: resolve the named nodes directly instead of
+		// scanning the whole fleet — at 100k nodes the full scan per
+		// request dominates the control plane's real CPU. The fleet-wide
+		// scan only runs in the rare nothing-selected case, where the
+		// retry-vs-fail decision needs it.
 		for _, want := range r.Spec.Nodes {
-			for _, n := range hosts {
-				if n.Name == want {
-					selected = append(selected, n)
-				}
+			n, ok := c.byName[want]
+			if !ok {
+				continue
+			}
+			if _, hosted := n.Apps[r.Spec.App]; hosted && c.nodeHealthy(n, now) {
+				selected = append(selected, n)
 			}
 		}
+		if len(selected) == 0 {
+			healthyAnywhere := false
+			for _, n := range c.Nodes {
+				if _, ok := n.Apps[r.Spec.App]; ok && c.nodeHealthy(n, now) {
+					healthyAnywhere = true
+					break
+				}
+			}
+			if !healthyAnywhere {
+				if c.Cfg.Faults != nil {
+					return 0, 0, nil, true, nil
+				}
+				return 0, 0, nil, false, fmt.Errorf("app %q deployed nowhere", r.Spec.App)
+			}
+			return 0, 0, nil, false, fmt.Errorf("no nodes selected for %q", r.Spec.App)
+		}
 	} else {
+		var hosts []*Node
+		for _, n := range c.Nodes {
+			if _, ok := n.Apps[r.Spec.App]; ok && c.nodeHealthy(n, now) {
+				hosts = append(hosts, n)
+			}
+		}
+		if len(hosts) == 0 {
+			if c.Cfg.Faults != nil {
+				return 0, 0, nil, true, nil
+			}
+			return 0, 0, nil, false, fmt.Errorf("app %q deployed nowhere", r.Spec.App)
+		}
 		reps := make([]coverage.Repetition, len(hosts))
 		for i, n := range hosts {
 			reps[i] = coverage.Repetition{Node: n.Name}
@@ -1059,9 +1286,9 @@ func (c *Cluster) plan(r *TraceRequest, now simtime.Time) (period simtime.Durati
 		for _, i := range idx {
 			selected = append(selected, hosts[i])
 		}
-	}
-	if len(selected) == 0 {
-		return 0, 0, nil, false, fmt.Errorf("no nodes selected for %q", r.Spec.App)
+		if len(selected) == 0 {
+			return 0, 0, nil, false, fmt.Errorf("no nodes selected for %q", r.Spec.App)
+		}
 	}
 
 	scale = r.Spec.Scale
@@ -1112,6 +1339,7 @@ func (c *Cluster) launch(r *TraceRequest, period simtime.Duration, scale float64
 func (c *Cluster) loseSlot(r *TraceRequest, attempt int) {
 	if c.replicated() {
 		r.resampleSlots = append(r.resampleSlots, attempt)
+		c.Mgmt.CPUSeconds += c.storeOpCPU(r.shard)
 		c.API.Touch(r)
 		return
 	}
@@ -1224,6 +1452,10 @@ func (c *Cluster) finishLite(ls *liteSession, now simtime.Time) {
 		c.Uploads.Batches++
 		r.SessionKeys = append(r.SessionKeys, key)
 		c.Mgmt.CPUSeconds += 100e-6
+		if c.replicated() {
+			// The status append is a store write; it pays the shard scan.
+			c.Mgmt.CPUSeconds += c.storeOpCPU(r.shard)
+		}
 		c.Uploads.Sessions++
 		c.Uploads.WireBytes += int64(len(blob))
 		c.sessionDone(r)
@@ -1393,6 +1625,10 @@ func (c *Cluster) uploadLanded(it uploadItem) {
 	r.SessionKeys = append(r.SessionKeys, it.key)
 	// Per-session management cost: upload bookkeeping and status update.
 	c.Mgmt.CPUSeconds += 100e-6
+	if c.replicated() {
+		// The status append is a store write; it pays the shard scan.
+		c.Mgmt.CPUSeconds += c.storeOpCPU(r.shard)
+	}
 	c.Uploads.Sessions++
 	c.Uploads.WireBytes += int64(len(it.blob))
 	c.Uploads.V1Bytes += int64(trace.V1Size(it.res))

@@ -7,14 +7,19 @@ import (
 	"exist/internal/simtime"
 )
 
-// Controller is one replica of the replicated control plane. At most
-// one replica — the one holding the store lease — acts at a time. Each
-// replica runs a staggered election tick; the winner relists the API
-// server, re-adopts in-flight requests, and drives a watch-fed work
-// queue. Everything a replica must remember across a failover lives on
-// the TraceRequest objects themselves (phase, pending slots, recorded
-// resample slots), so a fresh leader recovers the full work set from a
-// relist and no session is lost or duplicated.
+// Controller is one replica of the replicated control plane. The work is
+// range-sharded: each API-server shard has its own store lease, and a
+// replica acts only on the shards it holds. With one shard (the default)
+// this degenerates to classic single-leader election — at most one
+// replica acts at a time. Each replica runs a staggered election tick
+// that renews the shards it holds, reclaims its home shards (shard %
+// replicas == idx), and picks up any expired shard whose holder died;
+// the winner relists the acquired shards, re-adopts their in-flight
+// requests, and drives per-shard watch-fed work queues merged in global
+// FIFO order. Everything a replica must remember across a failover lives
+// on the TraceRequest objects themselves (phase, pending slots, recorded
+// resample slots), so a fresh shard owner recovers the full work set
+// from a relist and no session is lost or duplicated.
 type Controller struct {
 	// Name is the replica name (ctrl-<i>).
 	Name string
@@ -23,11 +28,17 @@ type Controller struct {
 	idx  int
 	skew simtime.Duration // injected clock skew, fixed per replica
 
+	// leader reports whether the replica owns at least one shard; owned,
+	// tokens, watches and queues are per shard. A shard's fencing token
+	// identifies the replica's current ownership incarnation of it.
 	leader bool
-	token  int64 // fencing token of the current leadership incarnation
+	owned  []bool
+	nOwned int
+	tokens []int64
+	token  int64 // shard 0's token, kept for the single-shard surface
 
-	watch *WatchStream
-	queue *workQueue
+	watches []*WatchStream
+	queues  []*workQueue
 
 	// down marks an injected controller crash; partitionedUntil marks
 	// the end of an injected controller-store partition.
@@ -42,32 +53,85 @@ type Controller struct {
 
 	pumpArmed bool
 
-	// adopting tracks the Running requests inherited at election; when
-	// the set drains the re-adoption time is recorded.
-	adopting    map[string]bool
-	electedAt   simtime.Time
-	readoptOpen bool
+	// adopting tracks, per shard, the Running requests inherited at
+	// acquisition; when a shard's set drains its re-adoption time is
+	// recorded.
+	adopting    []map[string]bool
+	electedAt   []simtime.Time
+	readoptOpen []bool
 }
 
-// Leader reports whether this replica currently believes it leads. The
-// store's lease record is the authority; a deposed replica may briefly
-// believe until its next store contact fences it.
+// Leader reports whether this replica currently believes it owns at
+// least one shard. The store's lease records are the authority; a
+// deposed replica may briefly believe until its next store contact
+// fences it.
 func (ct *Controller) Leader() bool { return ct.leader }
 
-// ActiveLeaders counts replicas that both believe they lead and would
-// pass the store's fencing check at now. Election safety demands this
-// never exceeds one; chaos experiments sample it continuously.
+// OwnedShards returns the shards this replica currently believes it
+// owns, ascending.
+func (ct *Controller) OwnedShards() []int {
+	var out []int
+	for s, own := range ct.owned {
+		if own {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// QueueDepth returns the replica's total queued work across its shard
+// queues.
+func (ct *Controller) QueueDepth() int {
+	n := 0
+	for _, q := range ct.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// ActiveLeaders counts replicas that both believe they own a shard and
+// would pass the store's fencing check for it at now. With one shard,
+// election safety demands this never exceeds one; chaos experiments
+// sample it continuously.
 func (c *Cluster) ActiveLeaders(now simtime.Time) int {
 	if c.Leases == nil {
 		return 0
 	}
 	n := 0
 	for _, ct := range c.Controllers {
-		if ct.leader && c.Leases.ValidFor(ct.Name, ct.token, now) {
+		for s, own := range ct.owned {
+			if own && c.Leases.ValidForShard(s, ct.Name, ct.tokens[s], now) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// ActiveOwnersShard counts replicas that believe they own shard si and
+// would pass its fencing check at now. Range-lease safety demands this
+// never exceeds one per shard.
+func (c *Cluster) ActiveOwnersShard(si int, now simtime.Time) int {
+	if c.Leases == nil {
+		return 0
+	}
+	n := 0
+	for _, ct := range c.Controllers {
+		if si < len(ct.owned) && ct.owned[si] && c.Leases.ValidForShard(si, ct.Name, ct.tokens[si], now) {
 			n++
 		}
 	}
 	return n
+}
+
+// ShardRebalances returns how many times shard ownership changed hands
+// after each shard's first election (takeovers and handbacks).
+func (c *Cluster) ShardRebalances() int {
+	if c.Leases == nil {
+		return 0
+	}
+	return c.Leases.Failovers()
 }
 
 // Crashes returns how many injected crashes this replica has absorbed.
@@ -75,17 +139,30 @@ func (ct *Controller) Crashes() int { return ct.crashes }
 
 // startControllers builds the replica set and arms their election
 // ticks, staggered by a millisecond per replica so elections are
-// deterministic and contested in a fixed order.
+// deterministic and contested in a fixed order. Each replica opens one
+// watch stream and one work queue per shard; non-owned streams simply
+// buffer (and may go stale), which is fine — acquisition always resets
+// and relists the shard.
 func (c *Cluster) startControllers() {
+	nShards := c.API.Shards()
 	for i := 0; i < c.Cfg.Replicas; i++ {
 		ct := &Controller{
-			Name: fmt.Sprintf("ctrl-%d", i),
-			c:    c,
-			idx:  i,
+			Name:        fmt.Sprintf("ctrl-%d", i),
+			c:           c,
+			idx:         i,
+			owned:       make([]bool, nShards),
+			tokens:      make([]int64, nShards),
+			watches:     make([]*WatchStream, nShards),
+			queues:      make([]*workQueue, nShards),
+			adopting:    make([]map[string]bool, nShards),
+			electedAt:   make([]simtime.Time, nShards),
+			readoptOpen: make([]bool, nShards),
 		}
 		ct.skew = c.Cfg.Faults.ClockSkew(ct.Name)
-		ct.watch = c.API.WatchStream(c.Cfg.WatchBuf, ct.kick)
-		ct.queue = newWorkQueue(c, c.Cfg.QueueBaseDelay, c.Cfg.QueueMaxDelay, ct.kick)
+		for s := 0; s < nShards; s++ {
+			ct.watches[s] = c.API.WatchShard(s, c.Cfg.WatchBuf, ct.kick)
+			ct.queues[s] = newWorkQueue(c, c.Cfg.QueueBaseDelay, c.Cfg.QueueMaxDelay, ct.kick)
+		}
 		c.Controllers = append(c.Controllers, ct)
 		c.scheduleElect(ct, simtime.Duration(i+1)*simtime.Millisecond)
 		if c.Cfg.Faults != nil {
@@ -104,8 +181,8 @@ func (c *Cluster) scheduleElect(ct *Controller, d simtime.Duration) {
 }
 
 // scheduleCtrlCrash arms the replica's next injected crash. A crash
-// wipes the replica's in-memory state (queue, watch position, adoption
-// set) — recovery is a fresh relist, never a replay.
+// wipes the replica's in-memory state (queues, watch positions, adoption
+// sets) — recovery is a fresh relist, never a replay.
 func (c *Cluster) scheduleCtrlCrash(ct *Controller) {
 	d, ok := c.Cfg.Faults.NextCtrlCrash(ct.Name, ct.crashes)
 	if !ok {
@@ -128,10 +205,14 @@ func (ct *Controller) crash(downFor simtime.Duration, onUp func()) {
 	ct.leader = false
 	ct.epoch++
 	ct.pumpArmed = false
-	ct.queue.Reset()
-	ct.watch.Reset()
-	ct.adopting = nil
-	ct.readoptOpen = false
+	for s := range ct.owned {
+		ct.owned[s] = false
+		ct.queues[s].Reset()
+		ct.watches[s].Reset()
+		ct.adopting[s] = nil
+		ct.readoptOpen[s] = false
+	}
+	ct.nOwned = 0
 	ct.c.Eng.AfterDetached(downFor, func(simtime.Time) {
 		ct.down = false
 		if onUp != nil {
@@ -142,7 +223,7 @@ func (ct *Controller) crash(downFor simtime.Duration, onUp func()) {
 
 // scheduleCtrlPartition arms the replica's next injected controller-
 // store partition. While partitioned the replica cannot reach the
-// store: it can neither renew its lease (so leadership decays) nor
+// store: it can neither renew its leases (so ownership decays) nor
 // sync, but it stays alive and keeps its memory.
 func (c *Cluster) scheduleCtrlPartition(ct *Controller) {
 	delay, dur, ok := c.Cfg.Faults.NextPartition(ct.Name, ct.partitions)
@@ -165,63 +246,132 @@ func (ct *Controller) storeReachable(now simtime.Time) bool {
 	return ct.partitionedUntil <= now
 }
 
-// electTick is one round of lease-based leader election. The replica
-// judges the incumbent's lease and stamps its own with its (possibly
-// skewed) local clock; fencing at the store uses true time, so a skewed
-// replica can win an election early but cannot mutate state the real
-// leader still owns.
+// homeOf returns the replica index that prefers shard s (the static
+// balanced assignment shards rebalance back towards).
+func (c *Cluster) homeOf(s int) int { return s % c.Cfg.Replicas }
+
+// disownShard drops the replica's claim on a shard. Queue and watch
+// backlog is kept — the next acquisition resets and relists anyway, and
+// a deposed incarnation's backlog is superseded by the new owner's.
+func (ct *Controller) disownShard(s int) {
+	if !ct.owned[s] {
+		return
+	}
+	ct.owned[s] = false
+	ct.nOwned--
+	ct.leader = ct.nOwned > 0
+}
+
+// electTick is one round of range-lease maintenance. For each shard the
+// replica renews what it holds, contends for its home shards, and picks
+// up non-home shards whose lease lapsed (a dead or partitioned owner).
+// When several shards have lapsed the tick stagger decides the pickup
+// order deterministically. A holder of a non-home shard hands it back
+// once the home replica's liveness record is fresh again, converging
+// ownership to the balanced assignment. The replica judges incumbent
+// leases and stamps its own with its (possibly skewed) local clock;
+// fencing at the store uses true time, so a skewed replica can win a
+// shard early but cannot mutate state the real owner still holds.
 func (ct *Controller) electTick(now simtime.Time) {
 	if ct.down || !ct.storeReachable(now) {
-		// Crashed or partitioned: no store contact, leadership decays on
+		// Crashed or partitioned: no store contact, ownership decays on
 		// its own at the store.
 		return
 	}
+	c := ct.c
 	obs := now + ct.skew
 	if obs < 0 {
 		obs = 0
 	}
-	token, ok := ct.c.Leases.TryAcquire(ct.Name, obs, ct.c.Cfg.ElectionTTL)
-	if !ok {
-		// Another replica's lease is valid from where this one stands.
-		ct.leader = false
-		return
+	nShards := c.API.Shards()
+	if nShards > 1 {
+		c.Leases.Heartbeat(ct.Name, obs, c.Cfg.ElectionTTL)
 	}
-	if ct.leader && token == ct.token {
-		return // plain renewal
+	var newly []int
+	for s := 0; s < nShards; s++ {
+		if ct.owned[s] {
+			token, ok := c.Leases.TryAcquireShard(s, ct.Name, obs, c.Cfg.ElectionTTL)
+			if !ok {
+				// Another replica's lease is valid from where this one
+				// stands: deposed on this shard.
+				ct.disownShard(s)
+				continue
+			}
+			if token != ct.tokens[s] {
+				// Our lease lapsed unnoticed and we re-acquired: a new
+				// ownership incarnation for this shard.
+				ct.tokens[s] = token
+				newly = append(newly, s)
+				continue
+			}
+			// Plain renewal. Hand a non-home shard back once its home
+			// replica is alive again.
+			if nShards > 1 && c.homeOf(s) != ct.idx {
+				home := fmt.Sprintf("ctrl-%d", c.homeOf(s))
+				if c.Leases.Alive(home, obs) && c.Leases.Release(s, ct.Name, token, obs) {
+					ct.disownShard(s)
+				}
+			}
+			continue
+		}
+		// Not owned: contend for home shards always (exactly the classic
+		// single-lease behavior when there is one shard), and for foreign
+		// shards only once their lease has lapsed.
+		if nShards > 1 && c.homeOf(s) != ct.idx && !c.Leases.Expired(s, obs) {
+			continue
+		}
+		token, ok := c.Leases.TryAcquireShard(s, ct.Name, obs, c.Cfg.ElectionTTL)
+		if !ok {
+			continue
+		}
+		ct.owned[s] = true
+		ct.nOwned++
+		ct.tokens[s] = token
+		newly = append(newly, s)
 	}
-	ct.token = token
-	ct.becomeLeader(now)
+	ct.token = ct.tokens[0]
+	ct.leader = ct.nOwned > 0
+	if len(newly) > 0 {
+		ct.becomeLeader(newly, now)
+	}
 }
 
-// becomeLeader starts a leadership incarnation: drop any stale watch
-// backlog, relist the API server to rebuild the work set, and mark the
-// Running requests as adopted so the failover's re-adoption time can be
-// measured when the set drains.
-func (ct *Controller) becomeLeader(now simtime.Time) {
+// becomeLeader starts an ownership incarnation over the newly acquired
+// shards: drop their stale watch backlog, relist them to rebuild the
+// work set (one merged relist in creation order, so the enqueue order
+// matches what a single queue would have seen), and mark their Running
+// requests as adopted so the failover's re-adoption time can be
+// measured when each shard's set drains.
+func (ct *Controller) becomeLeader(newly []int, now simtime.Time) {
 	c := ct.c
 	ct.leader = true
 	c.Mgmt.Elections++
-	c.Mgmt.CPUSeconds += 200e-6 // relist cost
-	ct.watch.Reset()
-	ct.queue.Reset()
-	ct.adopting = make(map[string]bool)
+	isNew := make(map[int]bool, len(newly))
+	for _, s := range newly {
+		isNew[s] = true
+		c.Mgmt.CPUSeconds += relistCPU(c.API.LiveInShard(s))
+		ct.watches[s].Reset()
+		ct.queues[s].Reset()
+		ct.adopting[s] = make(map[string]bool)
+		ct.electedAt[s] = now
+	}
 	for _, r := range c.API.List() {
-		if r.Phase.Terminal() {
+		if r.Phase.Terminal() || !isNew[r.shard] {
 			continue
 		}
-		ct.queue.Add(r.Name)
+		ct.queues[r.shard].Add(r.Name)
 		if r.Phase == PhaseRunning {
-			ct.adopting[r.Name] = true
+			ct.adopting[r.shard][r.Name] = true
 		}
 	}
-	ct.electedAt = now
-	ct.readoptOpen = len(ct.adopting) > 0
+	for _, s := range newly {
+		ct.readoptOpen[s] = len(ct.adopting[s]) > 0
+	}
 	ct.kick()
 }
 
 // kick schedules a pump after the queue latency, if one is not already
-// armed. It is the notify hook for both the watch stream and the work
-// queue.
+// armed. It is the notify hook for the watch streams and work queues.
 func (ct *Controller) kick() {
 	if ct.pumpArmed || ct.down {
 		return
@@ -243,62 +393,113 @@ func (ct *Controller) rearmPump(d simtime.Duration) {
 	})
 }
 
-// pump is the leader's work loop: drain the watch stream into the
-// queue (relisting if the stream went stale), sync up to QueueBurst
-// items, flush any batched uploads, and re-arm while backlog remains.
-// A non-leader pump is a no-op; a deposed leader is fenced by the
-// store before it can act.
+// backlog reports whether any owned shard has queued work or buffered
+// watch events.
+func (ct *Controller) backlog() bool {
+	for s, own := range ct.owned {
+		if own && (ct.queues[s].Len() > 0 || ct.watches[s].Len() > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// pump is an owner's work loop: drain the owned shards' watch streams
+// into their queues (relisting a shard whose stream went stale), sync up
+// to QueueBurst items popped in global FIFO order across the owned
+// queues, flush any batched uploads, and re-arm while backlog remains.
+// A pump on a replica owning nothing is a no-op; a deposed owner is
+// fenced per shard by the store before it can act on that shard.
 func (ct *Controller) pump(now simtime.Time) {
 	c := ct.c
-	if ct.down || !ct.leader {
+	if ct.down || ct.nOwned == 0 {
 		return
 	}
 	if !ct.storeReachable(now) {
-		// Partitioned mid-leadership: keep the backlog and retry after a
-		// tick; if the partition outlives the lease another replica takes
-		// over and this backlog is superseded by its relist.
+		// Partitioned mid-ownership: keep the backlog and retry after a
+		// tick; if the partition outlives the leases other replicas take
+		// the shards over and this backlog is superseded by their relists.
 		ct.pumpArmed = true
 		ct.rearmPump(c.Cfg.QueueTick)
 		return
 	}
-	if !c.Leases.ValidFor(ct.Name, ct.token, now) {
-		// The store fences the stale token: this incarnation was deposed
-		// while it still believed it led (partition, skew, late renewal).
-		c.Mgmt.FencedOps++
-		ct.leader = false
+	for s, own := range ct.owned {
+		if own && !c.Leases.ValidForShard(s, ct.Name, ct.tokens[s], now) {
+			// The store fences the stale token: this incarnation was
+			// deposed on the shard while it still believed it owned it
+			// (partition, skew, late renewal).
+			c.Mgmt.FencedOps++
+			ct.disownShard(s)
+		}
+	}
+	if ct.nOwned == 0 {
 		return
 	}
-	if ct.watch.Stale() {
-		// The stream dropped events; resynchronize with a full relist.
-		ct.watch.Reset()
-		c.Mgmt.CPUSeconds += 200e-6
-		for _, r := range c.API.List() {
-			if !r.Phase.Terminal() {
-				ct.queue.Add(r.Name)
+	for s, own := range ct.owned {
+		if own && ct.watches[s].Stale() {
+			// The shard's stream dropped events; resynchronize it with a
+			// shard-scoped relist.
+			ct.watches[s].Reset()
+			c.Mgmt.Relists++
+			c.Mgmt.CPUSeconds += relistCPU(c.API.LiveInShard(s))
+			for _, r := range c.API.ListShard(s) {
+				if !r.Phase.Terminal() {
+					ct.queues[s].Add(r.Name)
+				}
 			}
 		}
 	}
+	// Merge the owned streams by emission sequence so the queue sees
+	// events in the exact server-side order.
 	for {
-		ev, ok := ct.watch.Next()
-		if !ok {
+		best := -1
+		var bestEv WatchEvent
+		for s, own := range ct.owned {
+			if !own {
+				continue
+			}
+			ev, ok := ct.watches[s].peek()
+			if ok && (best < 0 || ev.Seq < bestEv.Seq) {
+				best, bestEv = s, ev
+			}
+		}
+		if best < 0 {
 			break
 		}
-		if ev.Type != EventDeleted {
-			ct.queue.Add(ev.Name)
+		ct.watches[best].Next()
+		if bestEv.Type != EventDeleted {
+			ct.queues[best].Add(bestEv.Name)
 		}
 	}
+	// Pop the globally oldest head across the owned queues: the merged
+	// drain is the FIFO a single queue would have produced.
 	for i := 0; i < c.Cfg.QueueBurst; i++ {
-		name, ok := ct.queue.Pop()
-		if !ok {
+		best := -1
+		var bestSeq int64
+		for s, own := range ct.owned {
+			if !own {
+				continue
+			}
+			if seq, ok := ct.queues[s].headSeq(); ok && (best < 0 || seq < bestSeq) {
+				best, bestSeq = s, seq
+			}
+		}
+		if best < 0 {
 			break
 		}
+		name, _ := ct.queues[best].Pop()
 		ct.sync(name, now)
 	}
 	c.flushUploads()
-	if ct.queue.Len() > 0 || ct.watch.Len() > 0 {
+	if ct.backlog() {
 		ct.pumpArmed = true
 		ct.rearmPump(c.Cfg.QueueTick)
 	}
+}
+
+// queueFor returns the shard queue a request name belongs to.
+func (ct *Controller) queueFor(name string) *workQueue {
+	return ct.queues[ct.c.API.ShardOf(name)]
 }
 
 // sync reconciles one request by name: admission-check and start
@@ -308,15 +509,15 @@ func (ct *Controller) pump(now simtime.Time) {
 func (ct *Controller) sync(name string, now simtime.Time) {
 	c := ct.c
 	c.Mgmt.Syncs++
-	c.Mgmt.CPUSeconds += 20e-6
+	c.Mgmt.CPUSeconds += syncBaseCPU + c.storeOpCPU(c.API.ShardOf(name))
 	r, ok := c.API.Get(name)
 	if !ok {
-		ct.queue.Forget(name)
+		ct.queueFor(name).Forget(name)
 		ct.adopted(name, now)
 		return
 	}
 	if r.Phase.Terminal() {
-		ct.queue.Forget(name)
+		ct.queueFor(name).Forget(name)
 		ct.adopted(name, now)
 		return
 	}
@@ -330,29 +531,30 @@ func (ct *Controller) sync(name string, now simtime.Time) {
 	}
 }
 
-// adopted retires one name from the adoption set; when the set drains
-// the leadership change's re-adoption time is recorded.
+// adopted retires one name from its shard's adoption set; when the set
+// drains the shard acquisition's re-adoption time is recorded.
 func (ct *Controller) adopted(name string, now simtime.Time) {
-	if ct.adopting == nil || !ct.adopting[name] {
+	s := ct.c.API.ShardOf(name)
+	if ct.adopting[s] == nil || !ct.adopting[s][name] {
 		return
 	}
-	delete(ct.adopting, name)
-	if len(ct.adopting) == 0 && ct.readoptOpen {
-		ct.readoptOpen = false
-		ct.c.Readopts = append(ct.c.Readopts, (now - ct.electedAt).Millis())
+	delete(ct.adopting[s], name)
+	if len(ct.adopting[s]) == 0 && ct.readoptOpen[s] {
+		ct.readoptOpen[s] = false
+		ct.c.Readopts = append(ct.c.Readopts, (now - ct.electedAt[s]).Millis())
 	}
 }
 
 // syncPending admits and starts one Pending request. The Pending →
 // Running transition is a compare-and-swap on the resource version the
-// sync read, so two replicas that both believe they lead can never both
-// open sessions for the same request — the loser's CAS conflicts and it
-// requeues to observe the winner's work.
+// sync read, so two replicas that both believe they own the shard can
+// never both open sessions for the same request — the loser's CAS
+// conflicts and it requeues to observe the winner's work.
 func (ct *Controller) syncPending(r *TraceRequest, now simtime.Time) {
 	c := ct.c
 	// Admission control: shed when the control plane is saturated, so a
 	// storm degrades requests crisply instead of timing all of them out.
-	if over, why := c.overloaded(ct.queue.Len()); over {
+	if over, why := c.overloaded(ct.queues[r.shard].Len()); over {
 		c.Mgmt.Shed++
 		c.terminate(r, PhaseDegraded, "shed by admission control: "+why)
 		return
@@ -365,19 +567,19 @@ func (ct *Controller) syncPending(r *TraceRequest, now simtime.Time) {
 	}
 	if retry {
 		// No healthy repetition right now; back off and retry.
-		ct.queue.AddRateLimited(r.Name)
+		ct.queues[r.shard].AddRateLimited(r.Name)
 		return
 	}
 	if err := c.API.CASPhase(r, rv, PhaseRunning, ""); err != nil {
 		c.Mgmt.Conflicts++
-		ct.queue.AddRateLimited(r.Name)
+		ct.queues[r.shard].AddRateLimited(r.Name)
 		return
 	}
 	if err := c.launch(r, period, scale, selected); err != nil {
 		c.terminate(r, PhaseFailed, err.Error())
 		return
 	}
-	ct.queue.Forget(r.Name)
+	ct.queues[r.shard].Forget(r.Name)
 }
 
 // syncRunning re-samples the request's recorded lost slots. Slots are
@@ -387,7 +589,7 @@ func (ct *Controller) syncPending(r *TraceRequest, now simtime.Time) {
 func (ct *Controller) syncRunning(r *TraceRequest, now simtime.Time) {
 	c := ct.c
 	if len(r.resampleSlots) == 0 || r.cancelling {
-		ct.queue.Forget(r.Name)
+		ct.queues[r.shard].Forget(r.Name)
 		return
 	}
 	slots := r.resampleSlots
@@ -416,9 +618,9 @@ func (ct *Controller) syncRunning(r *TraceRequest, now simtime.Time) {
 		c.Mgmt.CPUSeconds += 50e-6
 	}
 	if len(r.resampleSlots) > 0 {
-		ct.queue.AddRateLimited(r.Name)
+		ct.queues[r.shard].AddRateLimited(r.Name)
 	} else {
-		ct.queue.Forget(r.Name)
+		ct.queues[r.shard].Forget(r.Name)
 	}
 }
 

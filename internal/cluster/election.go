@@ -5,8 +5,8 @@ import (
 	"exist/internal/simtime"
 )
 
-// Lease is the leader-election record kept in the object store. The
-// fencing Token increments on every change of holder, so a deposed
+// Lease is one shard's leader-election record kept in the object store.
+// The fencing Token increments on every change of holder, so a deposed
 // leader that wakes up with a stale token is rejected by the store even
 // if its local clock still believes the lease is valid.
 type Lease struct {
@@ -15,65 +15,183 @@ type Lease struct {
 	Until  simtime.Time
 }
 
-// LeaseStore is the store-side half of leader election: a single lease
-// record with compare-and-swap acquisition. The store's clock is the
-// authority — controllers may observe skewed time, but expiry and
-// fencing are judged here. It also keeps the availability ledger: the
-// union of time during which some controller held a valid lease.
-type LeaseStore struct {
+// leaseShard is the store-side election state for one shard: its lease,
+// availability ledger, and election counters.
+type leaseShard struct {
 	lease     Lease
 	up        metrics.Uptime
 	failovers int
 	elections int
 }
 
-// TryAcquire attempts to take or renew the lease for ctrl at observed
-// time now with the given ttl. It fails while a different holder's
-// lease is still valid. The fencing token increments on every fresh
-// acquisition — a change of holder, or a re-acquire after the lease
-// lapsed — so callbacks queued under the old incarnation are fenced
-// off even when the same replica wins again. A change of holder after
-// the first election is recorded as a failover. `now` is the caller's
-// observed time: a clock-skewed controller both judges the incumbent's
-// expiry and stamps its own with a skewed clock, which is exactly how
-// skew breaks real lease schemes.
-func (ls *LeaseStore) TryAcquire(ctrl string, now simtime.Time, ttl simtime.Duration) (int64, bool) {
-	held := ls.lease.Holder != "" && ls.lease.Until > now
-	if held && ls.lease.Holder != ctrl {
+// LeaseStore is the store-side half of leader election: one lease record
+// per shard with compare-and-swap acquisition (a range lease — holding
+// shard s means owning every request whose name hashes to s). The
+// store's clock is the authority — controllers may observe skewed time,
+// but expiry and fencing are judged here. It also keeps the availability
+// ledger: per shard, the union of time during which some controller held
+// a valid lease.
+//
+// The zero value is a usable single-shard store, which keeps the
+// single-lease call sites (and the historical behavior) intact.
+type LeaseStore struct {
+	shards []leaseShard
+	// presence records each replica's last liveness refresh; holders of
+	// non-home shards consult it to hand shards back when the home
+	// replica returns (only engaged with more than one shard).
+	presence map[string]simtime.Time
+}
+
+// NewLeaseStore returns a lease store with n shard leases (n < 1 is
+// treated as 1).
+func NewLeaseStore(n int) *LeaseStore {
+	if n < 1 {
+		n = 1
+	}
+	return &LeaseStore{shards: make([]leaseShard, n)}
+}
+
+// ensure lazily sizes the zero value to a single shard.
+func (ls *LeaseStore) ensure() {
+	if len(ls.shards) == 0 {
+		ls.shards = make([]leaseShard, 1)
+	}
+}
+
+// Shards returns the shard-lease count.
+func (ls *LeaseStore) Shards() int {
+	ls.ensure()
+	return len(ls.shards)
+}
+
+// TryAcquireShard attempts to take or renew shard si's lease for ctrl at
+// observed time now with the given ttl. It fails while a different
+// holder's lease is still valid. The fencing token increments on every
+// fresh acquisition — a change of holder, or a re-acquire after the
+// lease lapsed — so callbacks queued under the old incarnation are
+// fenced off even when the same replica wins again. A change of holder
+// after the shard's first election is recorded as a failover (a shard
+// rebalance). `now` is the caller's observed time: a clock-skewed
+// controller both judges the incumbent's expiry and stamps its own with
+// a skewed clock, which is exactly how skew breaks real lease schemes.
+func (ls *LeaseStore) TryAcquireShard(si int, ctrl string, now simtime.Time, ttl simtime.Duration) (int64, bool) {
+	ls.ensure()
+	sh := &ls.shards[si]
+	held := sh.lease.Holder != "" && sh.lease.Until > now
+	if held && sh.lease.Holder != ctrl {
 		return 0, false
 	}
-	if !held || ls.lease.Holder != ctrl {
-		ls.lease.Token++
-		ls.elections++
-		if ls.lease.Holder != "" && ls.lease.Holder != ctrl {
-			ls.failovers++
+	if !held || sh.lease.Holder != ctrl {
+		sh.lease.Token++
+		sh.elections++
+		if sh.lease.Holder != "" && sh.lease.Holder != ctrl {
+			sh.failovers++
 		}
-		ls.lease.Holder = ctrl
+		sh.lease.Holder = ctrl
 	}
-	ls.lease.Until = now + ttl
-	ls.up.Extend(now.Seconds(), ls.lease.Until.Seconds())
-	return ls.lease.Token, true
+	sh.lease.Until = now + ttl
+	sh.up.Extend(now.Seconds(), sh.lease.Until.Seconds())
+	return sh.lease.Token, true
 }
 
-// ValidFor reports whether ctrl still holds the lease with the given
-// fencing token at store time now. Store mutations from a controller
-// that fails this check are fenced off.
+// TryAcquire attempts shard 0's lease (the single-shard call surface).
+func (ls *LeaseStore) TryAcquire(ctrl string, now simtime.Time, ttl simtime.Duration) (int64, bool) {
+	return ls.TryAcquireShard(0, ctrl, now, ttl)
+}
+
+// Release lapses shard si's lease if ctrl still holds it with the given
+// token: a graceful handback. The holder record is kept — the next
+// acquisition (by the returning home replica) still increments the
+// fencing token and counts as a failover, i.e. a rebalance.
+func (ls *LeaseStore) Release(si int, ctrl string, token int64, now simtime.Time) bool {
+	ls.ensure()
+	sh := &ls.shards[si]
+	if sh.lease.Holder != ctrl || sh.lease.Token != token || sh.lease.Until <= now {
+		return false
+	}
+	sh.lease.Until = now
+	return true
+}
+
+// Expired reports whether shard si's lease is lapsed (or was never
+// taken) at observed time now.
+func (ls *LeaseStore) Expired(si int, now simtime.Time) bool {
+	ls.ensure()
+	sh := &ls.shards[si]
+	return sh.lease.Holder == "" || sh.lease.Until <= now
+}
+
+// ValidForShard reports whether ctrl still holds shard si's lease with
+// the given fencing token at store time now. Store mutations from a
+// controller that fails this check are fenced off.
+func (ls *LeaseStore) ValidForShard(si int, ctrl string, token int64, now simtime.Time) bool {
+	ls.ensure()
+	sh := &ls.shards[si]
+	return sh.lease.Holder == ctrl && sh.lease.Token == token && sh.lease.Until > now
+}
+
+// ValidFor checks shard 0's lease (the single-shard call surface).
 func (ls *LeaseStore) ValidFor(ctrl string, token int64, now simtime.Time) bool {
-	return ls.lease.Holder == ctrl && ls.lease.Token == token && ls.lease.Until > now
+	return ls.ValidForShard(0, ctrl, token, now)
 }
 
-// Holder returns the current (possibly expired) holder and token.
-func (ls *LeaseStore) Holder() (string, int64) { return ls.lease.Holder, ls.lease.Token }
+// Holder returns shard 0's current (possibly expired) holder and token.
+func (ls *LeaseStore) Holder() (string, int64) {
+	ls.ensure()
+	return ls.shards[0].lease.Holder, ls.shards[0].lease.Token
+}
+
+// HolderShard returns shard si's current (possibly expired) holder and
+// token.
+func (ls *LeaseStore) HolderShard(si int) (string, int64) {
+	ls.ensure()
+	return ls.shards[si].lease.Holder, ls.shards[si].lease.Token
+}
+
+// Heartbeat refreshes ctrl's liveness record until now+ttl.
+func (ls *LeaseStore) Heartbeat(ctrl string, now simtime.Time, ttl simtime.Duration) {
+	if ls.presence == nil {
+		ls.presence = make(map[string]simtime.Time)
+	}
+	ls.presence[ctrl] = now + ttl
+}
+
+// Alive reports whether ctrl's liveness record is fresh at time now.
+func (ls *LeaseStore) Alive(ctrl string, now simtime.Time) bool {
+	return ls.presence[ctrl] > now
+}
 
 // Availability returns the fraction of [0, end] seconds during which a
-// valid leader lease existed, plus the number of leadership gaps.
+// valid leader lease existed, averaged across shards, plus the total
+// number of per-shard leadership gaps.
 func (ls *LeaseStore) Availability(end float64) (float64, int) {
-	return ls.up.Fraction(end), ls.up.Gaps()
+	ls.ensure()
+	frac, gaps := 0.0, 0
+	for i := range ls.shards {
+		frac += ls.shards[i].up.Fraction(end)
+		gaps += ls.shards[i].up.Gaps()
+	}
+	return frac / float64(len(ls.shards)), gaps
 }
 
-// Failovers returns how many times leadership changed hands after the
-// first election; Elections counts every acquisition by a new holder.
-func (ls *LeaseStore) Failovers() int { return ls.failovers }
+// Failovers returns how many times shard leadership changed hands after
+// each shard's first election — with several shards, the number of
+// shard rebalances.
+func (ls *LeaseStore) Failovers() int {
+	ls.ensure()
+	n := 0
+	for i := range ls.shards {
+		n += ls.shards[i].failovers
+	}
+	return n
+}
 
-// Elections returns the number of distinct leader acquisitions.
-func (ls *LeaseStore) Elections() int { return ls.elections }
+// Elections returns the number of distinct shard-leader acquisitions.
+func (ls *LeaseStore) Elections() int {
+	ls.ensure()
+	n := 0
+	for i := range ls.shards {
+		n += ls.shards[i].elections
+	}
+	return n
+}

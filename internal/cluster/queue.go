@@ -10,7 +10,7 @@ import "exist/internal/simtime"
 // so queue behavior is deterministic.
 type workQueue struct {
 	c      *Cluster
-	items  []string
+	items  []queueItem
 	queued map[string]bool
 	fails  map[string]int
 	base   simtime.Duration // first-retry delay
@@ -18,6 +18,16 @@ type workQueue struct {
 	// notify, when set, fires each time the queue goes from empty to
 	// non-empty, so the owning controller can schedule a drain.
 	notify func()
+}
+
+// queueItem is one queued name stamped with the cluster-global enqueue
+// sequence. A controller owning several shard queues pops the globally
+// oldest head across them, so the merged drain order is the exact FIFO a
+// single queue would have produced (the Shards=1 ≡ Shards=k argument of
+// DESIGN.md §15).
+type queueItem struct {
+	name string
+	seq  int64
 }
 
 // newWorkQueue builds an empty queue.
@@ -38,7 +48,8 @@ func (q *workQueue) Add(name string) {
 		return
 	}
 	q.queued[name] = true
-	q.items = append(q.items, name)
+	q.c.queueSeq++
+	q.items = append(q.items, queueItem{name: name, seq: q.c.queueSeq})
 	if len(q.items) == 1 && q.notify != nil {
 		q.notify()
 	}
@@ -83,10 +94,19 @@ func (q *workQueue) Pop() (string, bool) {
 	if len(q.items) == 0 {
 		return "", false
 	}
-	name := q.items[0]
+	name := q.items[0].name
 	q.items = q.items[1:]
 	delete(q.queued, name)
 	return name, true
+}
+
+// headSeq returns the enqueue sequence of the oldest queued item, or
+// false on an empty queue.
+func (q *workQueue) headSeq() (int64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].seq, true
 }
 
 // Len returns the queue depth.

@@ -24,6 +24,9 @@ func ConfigFromSpec(c *spec.Cluster, f *spec.Faults, seed uint64) Config {
 		if c.Replicas > 0 {
 			cfg.Replicas = c.Replicas
 		}
+		if c.Shards > 0 {
+			cfg.Shards = c.Shards
+		}
 	}
 	if f != nil {
 		cfg.Faults = faults.New(faults.Config{

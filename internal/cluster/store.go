@@ -3,29 +3,61 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"exist/internal/faults"
 )
+
+// ossShard is one lock domain of the object store: its own blob map,
+// attempt ledger, and mutex. Keys are routed by a stable hash so a key
+// always lands in the same shard regardless of upload order.
+type ossShard struct {
+	mu       sync.Mutex
+	blobs    map[string][]byte
+	attempts map[string]int
+}
 
 // ObjectStore is the unstructured blob store EXIST uploads raw sessions
 // to (the OSS stand-in of §4): traced data goes straight to the object
 // store instead of node-local files, avoiding node memory and file I/O.
 //
+// The store is sharded by key hash (DESIGN.md §15): each shard has its
+// own map and mutex, and the aggregate counters are atomics, so parallel
+// uploads from concurrently running node engines contend only within a
+// shard and counter reads never race. With one shard the behavior is
+// identical to the historical single-map store.
+//
 // Put is fault-aware: with an injector attached, attempts can fail with
 // transient errors (the control plane retries with backoff). Without one,
 // Put never fails.
 type ObjectStore struct {
-	blobs    map[string][]byte
-	bytes    int64
-	puts     int64
-	failures int64
-	attempts map[string]int
+	shards   []ossShard
+	bytes    atomic.Int64
+	puts     atomic.Int64
+	failures atomic.Int64
 	inj      *faults.Injector
 }
 
-// NewObjectStore returns an empty store.
-func NewObjectStore() *ObjectStore {
-	return &ObjectStore{blobs: make(map[string][]byte), attempts: make(map[string]int)}
+// NewObjectStore returns an empty single-shard store.
+func NewObjectStore() *ObjectStore { return NewObjectStoreShards(1) }
+
+// NewObjectStoreShards returns an empty store with n lock shards
+// (n < 1 is treated as 1).
+func NewObjectStoreShards(n int) *ObjectStore {
+	if n < 1 {
+		n = 1
+	}
+	o := &ObjectStore{shards: make([]ossShard, n)}
+	for i := range o.shards {
+		o.shards[i].blobs = make(map[string][]byte)
+		o.shards[i].attempts = make(map[string]int)
+	}
+	return o
+}
+
+func (o *ObjectStore) shardFor(key string) *ossShard {
+	return &o.shards[hashName(key)%uint64(len(o.shards))]
 }
 
 // UseFaults attaches a fault injector; nil detaches it.
@@ -35,84 +67,110 @@ func (o *ObjectStore) UseFaults(inj *faults.Injector) { o.inj = inj }
 // injection enabled it may return a transient error; the blob is then not
 // stored and the caller should retry.
 func (o *ObjectStore) Put(key string, data []byte) error {
-	attempt := o.attempts[key]
-	o.attempts[key] = attempt + 1
+	s := o.shardFor(key)
+	s.mu.Lock()
+	attempt := s.attempts[key]
+	s.attempts[key] = attempt + 1
 	if err := o.inj.PutError(key, attempt); err != nil {
-		o.failures++
+		s.mu.Unlock()
+		o.failures.Add(1)
 		return err
 	}
-	if old, ok := o.blobs[key]; ok {
-		o.bytes -= int64(len(old))
-	}
-	o.blobs[key] = append([]byte(nil), data...)
-	o.bytes += int64(len(data))
-	o.puts++
+	o.storeLocked(s, key, data)
+	s.mu.Unlock()
+	o.puts.Add(1)
 	return nil
+}
+
+// storeLocked writes one blob into a shard the caller holds locked,
+// keeping the byte ledger balanced on overwrite.
+func (o *ObjectStore) storeLocked(s *ossShard, key string, data []byte) {
+	if old, ok := s.blobs[key]; ok {
+		o.bytes.Add(-int64(len(old)))
+	}
+	s.blobs[key] = append([]byte(nil), data...)
+	o.bytes.Add(int64(len(data)))
 }
 
 // PutBatch stores several blobs in one upload: the batch succeeds or
 // fails atomically (one injected-fault roll, keyed by batchKey, covers
 // the whole request), counts as a single put in the upload ledger, and
-// each blob still lands under its own key. This is the wire-level
-// amortization behind Config.UploadBatch.
+// each blob still lands under its own key — possibly across several
+// shards. This is the wire-level amortization behind Config.UploadBatch.
 func (o *ObjectStore) PutBatch(batchKey string, keys []string, blobs [][]byte) error {
 	if len(keys) != len(blobs) {
 		return fmt.Errorf("oss: PutBatch with %d keys, %d blobs", len(keys), len(blobs))
 	}
-	attempt := o.attempts[batchKey]
-	o.attempts[batchKey] = attempt + 1
+	bs := o.shardFor(batchKey)
+	bs.mu.Lock()
+	attempt := bs.attempts[batchKey]
+	bs.attempts[batchKey] = attempt + 1
+	bs.mu.Unlock()
 	if err := o.inj.PutError(batchKey, attempt); err != nil {
-		o.failures++
+		o.failures.Add(1)
 		return err
 	}
 	for i, key := range keys {
-		if old, ok := o.blobs[key]; ok {
-			o.bytes -= int64(len(old))
-		}
-		o.blobs[key] = append([]byte(nil), blobs[i]...)
-		o.bytes += int64(len(blobs[i]))
+		s := o.shardFor(key)
+		s.mu.Lock()
+		o.storeLocked(s, key, blobs[i])
+		s.mu.Unlock()
 	}
-	o.puts++
+	o.puts.Add(1)
 	return nil
 }
 
 // Get retrieves a blob.
 func (o *ObjectStore) Get(key string) ([]byte, bool) {
-	b, ok := o.blobs[key]
+	s := o.shardFor(key)
+	s.mu.Lock()
+	b, ok := s.blobs[key]
+	s.mu.Unlock()
 	return b, ok
 }
 
 // Delete removes a blob, reporting whether it existed.
 func (o *ObjectStore) Delete(key string) bool {
-	b, ok := o.blobs[key]
+	s := o.shardFor(key)
+	s.mu.Lock()
+	b, ok := s.blobs[key]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
-	o.bytes -= int64(len(b))
-	delete(o.blobs, key)
+	delete(s.blobs, key)
+	s.mu.Unlock()
+	o.bytes.Add(-int64(len(b)))
 	return true
 }
 
-// List returns all keys with the prefix, sorted.
+// List returns all keys with the prefix, sorted. The merge across shards
+// is order-insensitive because the result is sorted, so output is
+// identical for any shard count.
 func (o *ObjectStore) List(prefix string) []string {
 	var keys []string
-	for k := range o.blobs {
-		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-			keys = append(keys, k)
+	for i := range o.shards {
+		s := &o.shards[i]
+		s.mu.Lock()
+		for k := range s.blobs {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				keys = append(keys, k)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Strings(keys)
 	return keys
 }
 
 // Bytes returns the stored volume.
-func (o *ObjectStore) Bytes() int64 { return o.bytes }
+func (o *ObjectStore) Bytes() int64 { return o.bytes.Load() }
 
 // Puts returns the number of successful uploads.
-func (o *ObjectStore) Puts() int64 { return o.puts }
+func (o *ObjectStore) Puts() int64 { return o.puts.Load() }
 
 // Failures returns the number of failed upload attempts.
-func (o *ObjectStore) Failures() int64 { return o.failures }
+func (o *ObjectStore) Failures() int64 { return o.failures.Load() }
 
 // Row is one structured record in the processing store.
 type Row struct {
@@ -124,19 +182,45 @@ type Row struct {
 	Value float64
 }
 
+// dsShard is one lock domain of the data store, routed by batch key so a
+// batch's rows stay contiguous within their shard.
+type dsShard struct {
+	mu       sync.Mutex
+	rows     []Row
+	attempts map[string]int
+}
+
 // DataStore is the structured, queryable store decoded results land in
 // (the ODPS stand-in of §4); engineers query it for analysis and
 // reproduction. Insert is fault-aware under an attached injector, like
-// ObjectStore.Put.
+// ObjectStore.Put. Like the object store it is sharded by batch key; all
+// query paths sort or aggregate, so results do not depend on the shard
+// count.
 type DataStore struct {
-	rows     []Row
-	failures int64
-	attempts map[string]int
+	shards   []dsShard
+	failures atomic.Int64
 	inj      *faults.Injector
 }
 
-// NewDataStore returns an empty store.
-func NewDataStore() *DataStore { return &DataStore{attempts: make(map[string]int)} }
+// NewDataStore returns an empty single-shard store.
+func NewDataStore() *DataStore { return NewDataStoreShards(1) }
+
+// NewDataStoreShards returns an empty store with n lock shards
+// (n < 1 is treated as 1).
+func NewDataStoreShards(n int) *DataStore {
+	if n < 1 {
+		n = 1
+	}
+	d := &DataStore{shards: make([]dsShard, n)}
+	for i := range d.shards {
+		d.shards[i].attempts = make(map[string]int)
+	}
+	return d
+}
+
+func (d *DataStore) shardFor(batch string) *dsShard {
+	return &d.shards[hashName(batch)%uint64(len(d.shards))]
+}
 
 // UseFaults attaches a fault injector; nil detaches it.
 func (d *DataStore) UseFaults(inj *faults.Injector) { d.inj = inj }
@@ -145,29 +229,47 @@ func (d *DataStore) UseFaults(inj *faults.Injector) { d.inj = inj }
 // session ID). With fault injection enabled the whole batch may fail
 // transiently; no partial batch is ever stored.
 func (d *DataStore) Insert(batch string, rows ...Row) error {
-	attempt := d.attempts[batch]
-	d.attempts[batch] = attempt + 1
+	s := d.shardFor(batch)
+	s.mu.Lock()
+	attempt := s.attempts[batch]
+	s.attempts[batch] = attempt + 1
 	if err := d.inj.InsertError(batch, attempt); err != nil {
-		d.failures++
+		s.mu.Unlock()
+		d.failures.Add(1)
 		return err
 	}
-	d.rows = append(d.rows, rows...)
+	s.rows = append(s.rows, rows...)
+	s.mu.Unlock()
 	return nil
 }
 
 // Len returns the row count.
-func (d *DataStore) Len() int { return len(d.rows) }
+func (d *DataStore) Len() int {
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		n += len(s.rows)
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Failures returns the number of failed insert attempts.
-func (d *DataStore) Failures() int64 { return d.failures }
+func (d *DataStore) Failures() int64 { return d.failures.Load() }
 
 // QueryApp returns all rows for an app, ordered by (session, key).
 func (d *DataStore) QueryApp(app string) []Row {
 	var out []Row
-	for _, r := range d.rows {
-		if r.App == app {
-			out = append(out, r)
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for _, r := range s.rows {
+			if r.App == app {
+				out = append(out, r)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Session != out[j].Session {
@@ -181,15 +283,20 @@ func (d *DataStore) QueryApp(app string) []Row {
 // AggregateApp sums Value by Key across an app's sessions.
 func (d *DataStore) AggregateApp(app string) map[string]float64 {
 	out := make(map[string]float64)
-	for _, r := range d.rows {
-		if r.App == app {
-			out[r.Key] += r.Value
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for _, r := range s.rows {
+			if r.App == app {
+				out[r.Key] += r.Value
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // String summarizes the store.
 func (d *DataStore) String() string {
-	return fmt.Sprintf("datastore(%d rows)", len(d.rows))
+	return fmt.Sprintf("datastore(%d rows)", d.Len())
 }

@@ -46,6 +46,10 @@ type WatchEvent struct {
 	ResourceVersion int64
 	// Phase is the object's phase at emission time.
 	Phase Phase
+	// Seq is the server-global emission sequence. Resource versions are
+	// per shard, so a consumer draining several shard streams merges
+	// them by Seq to recover the exact server-side emission order.
+	Seq int64
 }
 
 // WatchStream is one consumer's buffered view of the API server's change
@@ -75,6 +79,14 @@ func (w *WatchStream) Next() (WatchEvent, bool) {
 // Len returns the number of buffered events.
 func (w *WatchStream) Len() int { return len(w.buf) }
 
+// peek returns the oldest buffered event without removing it.
+func (w *WatchStream) peek() (WatchEvent, bool) {
+	if len(w.buf) == 0 {
+		return WatchEvent{}, false
+	}
+	return w.buf[0], true
+}
+
 // Stale reports whether events were dropped since the last Reset; the
 // consumer's cached view may be incomplete and it must relist.
 func (w *WatchStream) Stale() bool { return w.stale }
@@ -99,41 +111,66 @@ func (w *WatchStream) push(ev WatchEvent) {
 	}
 }
 
-// WatchStream opens a new buffered change stream. bufMax bounds the
-// buffer (<= 0 uses 1024); notify, when non-nil, fires on the
-// empty-to-non-empty edge.
+// WatchStream opens a new buffered change stream observing every shard
+// (the tooling view). bufMax bounds the buffer (<= 0 uses 1024); notify,
+// when non-nil, fires on the empty-to-non-empty edge.
 func (a *APIServer) WatchStream(bufMax int, notify func()) *WatchStream {
 	if bufMax <= 0 {
 		bufMax = 1024
 	}
 	w := &WatchStream{max: bufMax, notify: notify}
-	a.streams = append(a.streams, w)
+	a.global = append(a.global, w)
 	return w
 }
 
-// emit fans one event out to every open stream.
-func (a *APIServer) emit(typ EventType, r *TraceRequest) {
-	if len(a.streams) == 0 {
+// WatchShard opens a buffered change stream scoped to one shard: only
+// that shard's mutations are delivered, so overflow (and the resulting
+// stale → relist) is contained to the shard. Controllers open one per
+// shard and merge drains by WatchEvent.Seq.
+func (a *APIServer) WatchShard(si, bufMax int, notify func()) *WatchStream {
+	if bufMax <= 0 {
+		bufMax = 1024
+	}
+	w := &WatchStream{max: bufMax, notify: notify}
+	s := a.shards[si]
+	s.mu.Lock()
+	s.streams = append(s.streams, w)
+	s.mu.Unlock()
+	return w
+}
+
+// emitLocked fans one event out to the shard's streams and every global
+// stream; the caller holds the shard lock.
+func (a *APIServer) emitLocked(s *apiShard, typ EventType, r *TraceRequest) {
+	if len(s.streams) == 0 && len(a.global) == 0 {
 		return
 	}
-	ev := WatchEvent{Type: typ, Name: r.Name, ResourceVersion: r.ResourceVersion, Phase: r.Phase}
-	for _, w := range a.streams {
+	a.evSeq++
+	ev := WatchEvent{Type: typ, Name: r.Name, ResourceVersion: r.ResourceVersion, Phase: r.Phase, Seq: a.evSeq}
+	for _, w := range s.streams {
+		w.push(ev)
+	}
+	for _, w := range a.global {
 		w.push(ev)
 	}
 }
 
-// bump assigns the object the next resource version.
-func (a *APIServer) bump(r *TraceRequest) {
-	a.rv++
-	r.ResourceVersion = a.rv
+// bumpLocked assigns the object the owning shard's next resource
+// version; the caller holds the shard lock.
+func (a *APIServer) bumpLocked(s *apiShard, r *TraceRequest) {
+	s.rv++
+	r.ResourceVersion = s.rv
 }
 
 // Touch bumps the object's resource version and notifies watchers of a
 // modification that is not a phase transition (e.g. a lost session slot
 // recorded on the object for failover recovery).
 func (a *APIServer) Touch(r *TraceRequest) {
-	a.bump(r)
-	a.emit(EventModified, r)
+	s := a.shards[r.shard]
+	s.mu.Lock()
+	a.bumpLocked(s, r)
+	a.emitLocked(s, EventModified, r)
+	s.mu.Unlock()
 }
 
 // CASPhase transitions a request's phase if and only if its resource

@@ -102,6 +102,17 @@ type Config struct {
 	// a controller writes and reads, stressing the election protocol's
 	// fencing (the store remains the single authority).
 	ClockSkewMax simtime.Duration
+
+	// ChurnMTBF, when nonzero, gives each node an exponentially
+	// distributed mean time between graceful leaves (rolling
+	// maintenance, autoscaler scale-down). Unlike a crash, a leave
+	// cordons the node: it takes no new sessions but drains and uploads
+	// the ones in flight, then rejoins after an exponential downtime and
+	// becomes schedulable again — continuous join/leave churn.
+	ChurnMTBF simtime.Duration
+	// ChurnDownMean is the mean (exponential) time a churned node stays
+	// out of the fleet before rejoining (default 2 s).
+	ChurnDownMean simtime.Duration
 }
 
 // Stats counts injected faults, for experiment reporting.
@@ -122,6 +133,8 @@ type Stats struct {
 	Partitions int64
 	// GrayDelays counts heartbeats that were delayed by gray failure.
 	GrayDelays int64
+	// Leaves and Joins count graceful node-churn events.
+	Leaves, Joins int64
 }
 
 // Fate is the injector's verdict on one completed session's data.
@@ -316,6 +329,43 @@ func (in *Injector) NextCrash(node string, k int) (simtime.Duration, bool) {
 func (in *Injector) CountCrash() {
 	if in != nil {
 		in.stats.Crashes++
+	}
+}
+
+// NextChurn returns the delay until a node's k-th graceful leave and
+// how long it stays out before rejoining, and ok=false when churn
+// injection is disabled. Both draws are keyed by (node, k).
+func (in *Injector) NextChurn(node string, k int) (delay, down simtime.Duration, ok bool) {
+	if in == nil || in.cfg.ChurnMTBF <= 0 {
+		return 0, 0, false
+	}
+	rng := in.drawN("churn", node, int64(k))
+	d := rng.Exp(float64(in.cfg.ChurnMTBF))
+	if d < float64(simtime.Millisecond) {
+		d = float64(simtime.Millisecond)
+	}
+	mean := in.cfg.ChurnDownMean
+	if mean <= 0 {
+		mean = 2 * simtime.Second
+	}
+	dn := rng.Exp(float64(mean))
+	if dn < float64(simtime.Millisecond) {
+		dn = float64(simtime.Millisecond)
+	}
+	return simtime.Duration(d), simtime.Duration(dn), true
+}
+
+// CountLeave records one graceful node-leave event.
+func (in *Injector) CountLeave() {
+	if in != nil {
+		in.stats.Leaves++
+	}
+}
+
+// CountJoin records one node-rejoin event.
+func (in *Injector) CountJoin() {
+	if in != nil {
+		in.stats.Joins++
 	}
 }
 

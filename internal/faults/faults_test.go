@@ -271,3 +271,41 @@ func TestFateString(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnSchedule(t *testing.T) {
+	in := New(Config{Seed: 7, ChurnMTBF: 10 * simtime.Second, ChurnDownMean: 2 * simtime.Second})
+	d1, dn1, ok := in.NextChurn("node-0", 0)
+	if !ok || d1 < simtime.Millisecond || dn1 < simtime.Millisecond {
+		t.Fatalf("churn draw %v/%v ok=%v", d1, dn1, ok)
+	}
+	if d2, dn2, _ := in.NextChurn("node-0", 0); d1 != d2 || dn1 != dn2 {
+		t.Fatalf("churn draw not stable: %v/%v vs %v/%v", d1, dn1, d2, dn2)
+	}
+	// Mean leave delay of many draws should be near the MTBF.
+	var sum simtime.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		d, _, _ := in.NextChurn("node-x", i)
+		sum += d
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 8.5e9 || mean > 11.5e9 {
+		t.Fatalf("mean churn delay %.3gns, want ~1e10", mean)
+	}
+	// Down-time defaults to 2 s when ChurnDownMean is unset.
+	def := New(Config{Seed: 7, ChurnMTBF: 10 * simtime.Second})
+	if _, dn, ok := def.NextChurn("node-0", 0); !ok || dn < simtime.Millisecond {
+		t.Fatalf("default down draw %v ok=%v", dn, ok)
+	}
+	// Disabled shape reports ok=false, and the counters tally.
+	off := New(Config{Seed: 7})
+	if _, _, ok := off.NextChurn("node-0", 0); ok {
+		t.Fatal("churn without MTBF")
+	}
+	in.CountLeave()
+	in.CountLeave()
+	in.CountJoin()
+	if s := in.Stats(); s.Leaves != 2 || s.Joins != 1 {
+		t.Fatalf("stats leaves=%d joins=%d, want 2/1", s.Leaves, s.Joins)
+	}
+}

@@ -292,6 +292,7 @@ func (d *decoder) scenario(v *value) (*Scenario, error) {
 				"nodes":          func(g *value) error { return d.intAt(g, "scenario.cluster.nodes", &c.Nodes) },
 				"cores_per_node": func(g *value) error { return d.intAt(g, "scenario.cluster.cores_per_node", &c.CoresPerNode) },
 				"replicas":       func(g *value) error { return d.intAt(g, "scenario.cluster.replicas", &c.Replicas) },
+				"shards":         func(g *value) error { return d.intAt(g, "scenario.cluster.shards", &c.Shards) },
 				"requests":       func(g *value) error { return d.intAt(g, "scenario.cluster.requests", &c.Requests) },
 			})
 			sc.Cluster = c

@@ -237,6 +237,9 @@ type Cluster struct {
 	CoresPerNode int
 	// Replicas is the control-plane replica count (0: default).
 	Replicas int
+	// Shards is the API-server store shard count for range-leased
+	// reconciliation (0: default, single shard).
+	Shards int
 	// Requests is the number of trace requests to issue (0: default).
 	Requests int
 }

@@ -248,7 +248,7 @@ func (doc *Document) validateScenario(sc *Scenario) error {
 		}
 	}
 	if c := sc.Cluster; c != nil {
-		if c.Nodes < 0 || c.CoresPerNode < 0 || c.Replicas < 0 || c.Requests < 0 {
+		if c.Nodes < 0 || c.CoresPerNode < 0 || c.Replicas < 0 || c.Shards < 0 || c.Requests < 0 {
 			return errf(src, 0, "scenario.cluster", "cluster sizes must not be negative")
 		}
 	}

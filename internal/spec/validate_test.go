@@ -42,7 +42,7 @@ scenario:
     seed: 11
     co_runners:
       - {profile: xz, seed_offset: 3}
-  cluster: {nodes: 4, cores_per_node: 8, replicas: 3, requests: 100}
+  cluster: {nodes: 4, cores_per_node: 8, replicas: 3, shards: 8, requests: 100}
   faults: {put_fail: 0.01, crash_mtbf_s: 10, crash_downtime_s: 1}
 `
 
